@@ -1,0 +1,212 @@
+// Command cachebench reruns the paper's micro-benchmark evaluation (§4.1)
+// on the simulated device stack: CacheBench's bc mix against all four
+// schemes.
+//
+// Experiments:
+//
+//	cachebench -experiment fig2    # overall throughput + hit ratio (Figure 2)
+//	cachebench -experiment fig3    # region buffer fill times (Figure 3)
+//	cachebench -experiment fig4    # OP-ratio sweep (Figure 4)
+//	cachebench -experiment table1  # WA factors under OP ratios (Table 1)
+//	cachebench -experiment all     # everything
+//
+// Scale flags shrink or grow the run; defaults regenerate the numbers in
+// EXPERIMENTS.md in a few minutes of wall-clock time.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"znscache/internal/harness"
+	"znscache/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|all")
+		zones      = flag.Int("zones", 0, "override device zone count")
+		ops        = flag.Int("ops", 0, "override measured op count")
+		warmup     = flag.Int("warmup", 0, "override warmup op count")
+		keys       = flag.Int64("keys", 0, "override key-space size")
+		seed       = flag.Uint64("seed", 0, "override workload seed")
+		traceFile  = flag.String("trace", "", "replay a trace file (op key [len] per line) instead of an experiment")
+		scheme     = flag.String("scheme", "region", "scheme for -trace: block|file|zone|region")
+	)
+	flag.Parse()
+
+	if *traceFile != "" {
+		if err := replayTrace(*traceFile, *scheme, *zones); err != nil {
+			fmt.Fprintf(os.Stderr, "cachebench trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "cachebench %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("fig2", func() error {
+		p := harness.DefaultFig2()
+		applyFig2(&p, *zones, *ops, *warmup, *keys, *seed)
+		rows, err := harness.RunFig2(p)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig2(os.Stdout, rows)
+		return nil
+	})
+	run("smallzone", func() error {
+		p := harness.DefaultSmallZone()
+		if *keys != 0 {
+			p.Keys = *keys
+		}
+		if *ops != 0 {
+			p.MeasureOps = *ops
+		}
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		rows, err := harness.RunSmallZone(p)
+		if err != nil {
+			return err
+		}
+		harness.PrintSmallZone(os.Stdout, rows)
+		return nil
+	})
+	run("fig3", func() error {
+		p := harness.DefaultFig3()
+		if *zones != 0 {
+			p.Zones = *zones
+		}
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		rows, err := harness.RunFig3(p)
+		if err != nil {
+			return err
+		}
+		harness.PrintFig3(os.Stdout, rows)
+		return nil
+	})
+	runFig4 := func() ([]harness.Fig4Row, error) {
+		p := harness.DefaultFig4()
+		if *zones != 0 {
+			p.Zones = *zones
+		}
+		if *ops != 0 {
+			p.MeasureOps = *ops
+		}
+		if *warmup != 0 {
+			p.WarmupOps = *warmup
+		}
+		if *keys != 0 {
+			p.Keys = *keys
+		}
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		return harness.RunFig4Table1(p)
+	}
+	// fig4 and table1 come from the same runs; print both when either (or
+	// all) is requested, but run only once.
+	if *experiment == "all" || *experiment == "fig4" || *experiment == "table1" {
+		rows, err := runFig4()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cachebench fig4/table1: %v\n", err)
+			os.Exit(1)
+		}
+		harness.PrintFig4Table1(os.Stdout, rows)
+		fmt.Println()
+	}
+
+	switch *experiment {
+	case "all", "fig2", "fig3", "fig4", "table1", "smallzone":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+// replayTrace runs a trace file against one scheme and reports the outcome.
+func replayTrace(path, schemeName string, zones int) error {
+	schemes := map[string]harness.Scheme{
+		"block": harness.BlockCache, "file": harness.FileCache,
+		"zone": harness.ZoneCache, "region": harness.RegionCache,
+	}
+	s, ok := schemes[schemeName]
+	if !ok {
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+	if zones == 0 {
+		zones = 25
+	}
+	hw := harness.DefaultHW(zones)
+	cfg := harness.RigConfig{Scheme: s, HW: hw, CacheBytes: int64(zones) * hw.ZoneBytes() * 8 / 10}
+	if s == harness.ZoneCache {
+		cfg.ZoneCount = zones
+	}
+	rig, err := harness.Build(cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr := workload.NewTrace(f)
+	ops := 0
+	for {
+		op, ok := tr.Next()
+		if !ok {
+			break
+		}
+		ops++
+		switch op.Kind {
+		case workload.OpGet:
+			if _, hit, _ := rig.Engine.Get(op.Key); !hit && op.ValLen > 0 {
+				rig.Engine.Set(op.Key, nil, op.ValLen) //nolint:errcheck
+			}
+		case workload.OpSet:
+			rig.Engine.Set(op.Key, nil, op.ValLen) //nolint:errcheck
+		case workload.OpDelete:
+			rig.Engine.Delete(op.Key)
+		}
+	}
+	if err := tr.Err(); err != nil {
+		return err
+	}
+	st := rig.Engine.Stats()
+	fmt.Printf("%s: %d trace ops in %v simulated (%.0f ops/s)\n",
+		s, ops, st.SimulatedTime, float64(ops)/st.SimulatedTime.Seconds())
+	fmt.Printf("hit %.2f%%, %d evictions, WAF %.2f\n", st.HitRatio*100, st.Evictions, rig.WAFactor())
+	return nil
+}
+
+func applyFig2(p *harness.Fig2Params, zones, ops, warmup int, keys int64, seed uint64) {
+	if zones != 0 {
+		p.Zones = zones
+	}
+	if ops != 0 {
+		p.MeasureOps = ops
+	}
+	if warmup != 0 {
+		p.WarmupOps = warmup
+	}
+	if keys != 0 {
+		p.Keys = keys
+	}
+	if seed != 0 {
+		p.Seed = seed
+	}
+}

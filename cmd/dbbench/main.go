@@ -1,0 +1,67 @@
+// Command dbbench reruns the paper's end-to-end evaluation (§4.2): an LSM
+// key-value store (the RocksDB stand-in) on a simulated HDD with each of
+// the four cache schemes as its flash secondary cache.
+//
+// Experiments:
+//
+//	dbbench -experiment fig5    # ops/s, hit ratio, P50/P99 per scheme (Figure 5)
+//	dbbench -experiment table2  # Zone-Cache cache-size sweep (Table 2)
+//	dbbench -experiment all     # both
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"znscache/internal/harness"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig5|table2|all")
+		keys       = flag.Int64("keys", 0, "override fillrandom key count")
+		reads      = flag.Int("reads", 0, "override readrandom op count")
+		cacheZones = flag.Int("cache-zones", 0, "override flash cache size in zones")
+		seed       = flag.Uint64("seed", 0, "override workload seed")
+	)
+	flag.Parse()
+
+	p := harness.DefaultFig5()
+	if *keys != 0 {
+		p.Keys = *keys
+	}
+	if *reads != 0 {
+		p.Reads = *reads
+	}
+	if *cacheZones != 0 {
+		p.FlashCacheZones = *cacheZones
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+
+	if *experiment == "all" || *experiment == "fig5" {
+		rows, err := harness.RunFig5(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbbench fig5: %v\n", err)
+			os.Exit(1)
+		}
+		harness.PrintFig5(os.Stdout, rows)
+		fmt.Println()
+	}
+	if *experiment == "all" || *experiment == "table2" {
+		rows, err := harness.RunTable2(p)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbbench table2: %v\n", err)
+			os.Exit(1)
+		}
+		harness.PrintTable2(os.Stdout, rows)
+	}
+	switch *experiment {
+	case "all", "fig5", "table2":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,86 @@
+// Webcache: a CDN-style photo cache (the workload class the paper's
+// introduction motivates — write-intensive, skewed, high utilization) run
+// against all four schemes on identical simulated hardware. Prints the
+// throughput / hit-ratio / write-amplification tradeoff of Figure 2 from a
+// user's point of view.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"znscache"
+	"znscache/internal/workload"
+)
+
+const (
+	zones      = 25
+	cacheBytes = 320 << 20
+	requests   = 300_000
+	photos     = 48 << 10 // photo catalogue size (working set > cache)
+)
+
+func main() {
+	fmt.Printf("photo CDN cache: %d requests over %d photos, %d MiB cache\n\n",
+		requests, photos, cacheBytes>>20)
+	fmt.Printf("%-14s %10s %10s %8s %12s\n", "scheme", "req/s", "hit", "WAF", "p99")
+
+	for _, scheme := range []znscache.Scheme{
+		znscache.RegionCache, znscache.ZoneCache,
+		znscache.FileCache, znscache.BlockCache,
+	} {
+		runScheme(scheme)
+	}
+
+	fmt.Println("\nNote: req/s is simulated-time throughput on identical flash;")
+	fmt.Println("Zone-Cache trades throughput for zero WA and the largest cache.")
+}
+
+func runScheme(scheme znscache.Scheme) {
+	c, err := znscache.Open(znscache.Config{
+		Scheme:     scheme,
+		Zones:      zones,
+		CacheBytes: cacheBytes,
+	})
+	if err != nil {
+		log.Fatalf("open %v: %v", scheme, err)
+	}
+	defer c.Close()
+
+	// Photo popularity is zipfian; a photo is fetched (cache read-through)
+	// far more often than re-encoded (write) or invalidated (delete).
+	gen := workload.NewBC(workload.BCConfig{
+		Keys:         photos,
+		GetPct:       80,
+		SetPct:       15,
+		DelPct:       5,
+		ValueSizes:   []int{8 << 10, 32 << 10, 128 << 10}, // thumbnails to originals
+		ValueWeights: []int{60, 30, 10},
+		Seed:         7,
+	})
+	for i := 0; i < requests; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpGet:
+			if _, ok, err := c.Get(op.Key); err != nil {
+				log.Fatalf("%v get: %v", scheme, err)
+			} else if !ok {
+				// Miss: fetch from origin and cache the photo.
+				if err := c.SetSized(op.Key, op.ValLen); err != nil {
+					log.Fatalf("%v fill: %v", scheme, err)
+				}
+			}
+		case workload.OpSet:
+			if err := c.SetSized(op.Key, op.ValLen); err != nil {
+				log.Fatalf("%v set: %v", scheme, err)
+			}
+		case workload.OpDelete:
+			c.Delete(op.Key)
+		}
+	}
+
+	st := c.Stats()
+	reqPerSec := float64(requests) / st.SimulatedTime.Seconds()
+	fmt.Printf("%-14v %10.0f %9.1f%% %8.2f %12v\n",
+		scheme, reqPerSec, st.HitRatio*100, st.WriteAmplification, st.GetP99)
+}

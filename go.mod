@@ -1,0 +1,3 @@
+module znscache
+
+go 1.22

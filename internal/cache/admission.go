@@ -1,0 +1,91 @@
+package cache
+
+import (
+	"hash/fnv"
+
+	"znscache/internal/sim"
+)
+
+// Admission decides whether a Set is written to flash at all. Flash caches
+// use admission control to shed write bandwidth and extend device lifetime
+// (Flashield and CacheLib's dynamic random admission are the canonical
+// examples the paper cites as related work).
+type Admission interface {
+	// Admit reports whether the item should be inserted.
+	Admit(key string, valLen int) bool
+}
+
+// AdmitAll admits everything (CacheLib's default).
+type AdmitAll struct{}
+
+// Admit implements Admission.
+func (AdmitAll) Admit(string, int) bool { return true }
+
+// ProbAdmit admits a uniform fraction P of inserts, deterministic per
+// engine instance via its own PRNG stream.
+type ProbAdmit struct {
+	P   float64
+	rng *sim.Rand
+}
+
+// NewProbAdmit builds a probabilistic admitter.
+func NewProbAdmit(p float64, seed uint64) *ProbAdmit {
+	return &ProbAdmit{P: p, rng: sim.NewRand(seed)}
+}
+
+// Admit implements Admission.
+func (a *ProbAdmit) Admit(string, int) bool {
+	return a.rng.Float64() < a.P
+}
+
+// RejectFirstAdmit admits a key only on its second appearance within the
+// current window, filtering one-hit wonders. Appearance tracking uses a
+// two-hash Bloom filter that is cleared each time Window inserts have been
+// observed, bounding both memory and staleness.
+type RejectFirstAdmit struct {
+	bits   []uint64
+	nbits  uint64
+	window int
+	seen   int
+}
+
+// NewRejectFirstAdmit builds a reject-first-access admitter with the given
+// filter size (in bits, rounded up to 64) and reset window.
+func NewRejectFirstAdmit(bitCount int, window int) *RejectFirstAdmit {
+	if bitCount < 64 {
+		bitCount = 64
+	}
+	if window <= 0 {
+		window = 1 << 20
+	}
+	words := (bitCount + 63) / 64
+	return &RejectFirstAdmit{
+		bits:   make([]uint64, words),
+		nbits:  uint64(words * 64),
+		window: window,
+	}
+}
+
+func (a *RejectFirstAdmit) hash2(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	return h1 % a.nbits, h2 % a.nbits
+}
+
+// Admit implements Admission: false on first sight, true afterwards.
+func (a *RejectFirstAdmit) Admit(key string, _ int) bool {
+	b1, b2 := a.hash2(key)
+	present := a.bits[b1/64]&(1<<(b1%64)) != 0 && a.bits[b2/64]&(1<<(b2%64)) != 0
+	a.bits[b1/64] |= 1 << (b1 % 64)
+	a.bits[b2/64] |= 1 << (b2 % 64)
+	a.seen++
+	if a.seen >= a.window {
+		for i := range a.bits {
+			a.bits[i] = 0
+		}
+		a.seen = 0
+	}
+	return present
+}

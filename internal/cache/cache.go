@@ -1,0 +1,805 @@
+// Package cache implements a log-structured flash cache engine modelled on
+// CacheLib's block cache ("Navy"), the engine the paper holds constant
+// across all four schemes (§2.1):
+//
+//   - Flash space is partitioned into fixed-size regions. New objects are
+//     packed into an in-memory region buffer; when it fills, the whole
+//     region is flushed to the backing store in one large I/O.
+//   - A DRAM index maps keys to (region, offset, size).
+//   - Eviction is region-granular: when no free region remains, an entire
+//     region (LRU or FIFO) is dropped — every key it holds leaves the index
+//     at once. This amortizes flash GC cost but, with zone-sized regions,
+//     throws away ~1 GiB of possibly-hot objects in one stroke (the
+//     Zone-Cache hit-ratio cliff of §4.2).
+//   - Flushes pipeline: up to BufferMemory/RegionSize region buffers may be
+//     in flight at once. Small regions afford several buffers and overlap
+//     device writes; a zone-sized region affords one, serializing fill and
+//     flush — the paper's "coarse-grained parallelism" penalty (§3.2).
+//
+// The backing store is abstracted as a RegionStore; the four schemes plug
+// in internal/store (Block/File/Zone) and internal/middle (Region).
+package cache
+
+import (
+	"container/list"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"znscache/internal/device"
+	"znscache/internal/sim"
+	"znscache/internal/stats"
+)
+
+// RegionStore is the persistence backend for regions. Implementations
+// return simulated latencies; the engine advances its clock with them.
+type RegionStore interface {
+	// NumRegions is how many regions the store can hold.
+	NumRegions() int
+	// RegionSize is the fixed region size in bytes (sector-aligned).
+	RegionSize() int64
+	// WriteRegion persists a full region. data may be nil (metadata-only).
+	WriteRegion(now time.Duration, id int, data []byte) (time.Duration, error)
+	// ReadRegion reads n bytes at sector-aligned offset off within region
+	// id into p (p may be nil for a metadata-only read of n bytes).
+	ReadRegion(now time.Duration, id int, p []byte, n int, off int64) (time.Duration, error)
+	// EvictRegion tells the store the region's content is dead. The next
+	// WriteRegion with the same id replaces it.
+	EvictRegion(now time.Duration, id int) (time.Duration, error)
+}
+
+// SyncCoster is an optional RegionStore extension, consulted once after
+// each WriteRegion: WriteSyncCost reports the portion of that flush which
+// burned the flusher thread synchronously — filesystem page-cache copies
+// and per-block index updates, or a device GC stall inside the write
+// syscall — as opposed to DMA device time that overlaps with other work.
+// The engine charges it to the insertion path even when the device write
+// itself is pipelined.
+type SyncCoster interface {
+	WriteSyncCost() time.Duration
+}
+
+// Policy selects the region eviction order.
+type Policy uint8
+
+// Eviction policies over regions.
+const (
+	LRU Policy = iota
+	FIFO
+)
+
+// Errors returned by the engine.
+var (
+	ErrItemTooLarge = errors.New("cache: item larger than region")
+	ErrBadConfig    = errors.New("cache: invalid configuration")
+	ErrEmptyKey     = errors.New("cache: empty key")
+	ErrChecksum     = errors.New("cache: on-flash checksum mismatch")
+)
+
+// itemHeaderSize is the per-item on-flash overhead (lengths + checksum),
+// mirroring Navy's entry header.
+const itemHeaderSize = 16
+
+// CPUModel is the software-side cost model. Flash dominates end-to-end
+// latency, but index maintenance under the shared lock is what turns
+// zone-sized evictions into insertion-time spikes (Figure 3).
+type CPUModel struct {
+	IndexLookup  time.Duration // per Get/exists check
+	IndexInsert  time.Duration // per Set index update
+	IndexRemove  time.Duration // per single-key delete
+	AppendItem   time.Duration // per item appended to the region buffer
+	AppendPerKiB time.Duration // buffer memcpy cost per KiB
+	// EvictPerKey is the cost of removing one key during a region
+	// eviction. It is far above IndexRemove: eviction iterates the region
+	// under the shared index lock while other threads contend for it, and
+	// each removal also updates allocator and policy state — the mechanism
+	// the paper blames for the Figure 3 insertion-time spikes ("eviction
+	// operations in other threads, which involve lock controls for the
+	// shared index").
+	EvictPerKey time.Duration
+}
+
+// DefaultCPUModel returns costs typical of a sharded in-memory index.
+func DefaultCPUModel() CPUModel {
+	return CPUModel{
+		IndexLookup:  time.Microsecond,
+		IndexInsert:  1500 * time.Nanosecond,
+		IndexRemove:  1500 * time.Nanosecond,
+		AppendItem:   500 * time.Nanosecond,
+		AppendPerKiB: 50 * time.Nanosecond,
+		EvictPerKey:  25 * time.Microsecond,
+	}
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	Store RegionStore
+	// Policy picks LRU (default) or FIFO region eviction.
+	Policy Policy
+	// Admission filters inserts; nil admits everything.
+	Admission Admission
+	// BufferMemory bounds DRAM spent on region buffers. One buffer is
+	// always filling; the remaining BufferMemory/RegionSize − 1 may hold
+	// in-flight flushes, so a budget of exactly one region makes flushes
+	// synchronous. Default 64 MiB.
+	BufferMemory int64
+	// TrackValues keeps payload bytes in region buffers so Get returns
+	// real data (requires a data-storing device for sealed regions).
+	TrackValues bool
+	// ReinsertHits enables Navy's hits-based reinsertion policy: when a
+	// region is evicted, items accessed at least this many times since
+	// insertion are rewritten into the open region instead of dropped.
+	// Zero disables reinsertion.
+	ReinsertHits uint8
+	// CPU overrides the software cost model; zero value = defaults.
+	CPU CPUModel
+	// Clock is the virtual clock; a fresh one is created if nil.
+	Clock *sim.Clock
+}
+
+// entry is one index record: where an item lives, plus a saturating
+// access counter driving the reinsertion policy.
+type entry struct {
+	region int32
+	offset uint32 // item start within region
+	keyLen uint16
+	valLen uint32
+	hits   uint8
+	// expireAt is the virtual-clock second after which the item is dead
+	// (0 = no TTL). Second granularity keeps the entry compact, as
+	// CacheLib does.
+	expireAt uint32
+}
+
+func (e entry) itemSize() int64 {
+	return itemHeaderSize + int64(e.keyLen) + int64(e.valLen)
+}
+
+// regionState is the lifecycle of a region slot.
+type regionState uint8
+
+const (
+	regionFree regionState = iota
+	regionOpen
+	regionFlushing
+	regionSealed
+)
+
+// regionMeta tracks one region slot.
+type regionMeta struct {
+	state     regionState
+	keys      []string // insertion order, for eviction cleanup
+	fill      int64    // bytes appended
+	live      int      // items still indexed
+	flushDone time.Duration
+	openedAt  time.Duration
+	elem      *list.Element // position in eviction order (sealed/flushing)
+	buf       []byte        // non-nil while open/flushing and TrackValues
+}
+
+// FillRecord is one entry of the Figure 3 log: how long it took to fill a
+// region buffer, including any stalls from flushing and eviction.
+type FillRecord struct {
+	Seq      uint64
+	Duration time.Duration
+	Evicted  bool // an eviction was needed to open this region's successor
+}
+
+// Stats is a snapshot of engine counters.
+type Stats struct {
+	Gets, Sets, Deletes    uint64
+	Hits, Misses           uint64
+	HitRatio               float64
+	Evictions, Flushes     uint64
+	Reinsertions           uint64
+	Expirations            uint64
+	CoDesignDrops          uint64
+	AdmitRejects           uint64
+	HostWriteBytes         uint64
+	GetLatency, SetLatency stats.HistSnapshot
+	SimulatedTime          time.Duration
+}
+
+// Cache is the engine. Its methods are not safe for concurrent use: the
+// simulation is driven single-threaded for determinism, with contention
+// modelled through the CPU cost model instead of real lock waits.
+type Cache struct {
+	cfg   Config
+	store RegionStore
+	clock *sim.Clock
+	cpu   CPUModel
+
+	index   map[string]entry
+	regions []regionMeta
+	free    []int
+	order   *list.List // eviction order: front = MRU, back = LRU victim
+	open    int        // open region id
+	seq     uint64     // fill sequence counter
+
+	// flush pipeline: regions written but not yet completed, oldest first
+	inflight    []int
+	maxInflight int
+
+	fillLog []FillRecord
+
+	// metrics
+	hitRatio    stats.HitRatio
+	getLat      *stats.Histogram
+	setLat      *stats.Histogram
+	sets        stats.Counter
+	gets        stats.Counter
+	dels        stats.Counter
+	evicts      stats.Counter
+	drops       stats.Counter
+	reinserts   stats.Counter
+	expirations stats.Counter
+	flushes     stats.Counter
+	rejects     stats.Counter
+	hostBytes   stats.Counter
+	// EvictedKeys is called (if set) with every key dropped by a region
+	// eviction — used by integrations that must mirror the cache contents.
+	EvictedKeys func(keys []string)
+}
+
+// New builds an engine over the given store.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("%w: nil store", ErrBadConfig)
+	}
+	if cfg.Store.NumRegions() < 2 {
+		return nil, fmt.Errorf("%w: need at least 2 regions, store has %d",
+			ErrBadConfig, cfg.Store.NumRegions())
+	}
+	if cfg.Store.RegionSize() <= 0 || cfg.Store.RegionSize()%device.SectorSize != 0 {
+		return nil, fmt.Errorf("%w: region size %d", ErrBadConfig, cfg.Store.RegionSize())
+	}
+	if cfg.BufferMemory == 0 {
+		cfg.BufferMemory = 64 << 20
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = sim.NewClock()
+	}
+	if (cfg.CPU == CPUModel{}) {
+		cfg.CPU = DefaultCPUModel()
+	}
+	if cfg.Admission == nil {
+		cfg.Admission = AdmitAll{}
+	}
+	n := cfg.Store.NumRegions()
+	c := &Cache{
+		cfg:     cfg,
+		store:   cfg.Store,
+		clock:   cfg.Clock,
+		cpu:     cfg.CPU,
+		index:   make(map[string]entry),
+		regions: make([]regionMeta, n),
+		order:   list.New(),
+		getLat:  stats.NewHistogram(),
+		setLat:  stats.NewHistogram(),
+	}
+	// One buffer is always the one being filled; only the remainder can
+	// hold in-flight flushes. A single zone-sized buffer therefore flushes
+	// synchronously — the Zone-Cache DRAM-budget penalty of §3.2.
+	c.maxInflight = int(cfg.BufferMemory/cfg.Store.RegionSize()) - 1
+	if c.maxInflight < 0 {
+		return nil, fmt.Errorf("%w: BufferMemory %d below region size %d",
+			ErrBadConfig, cfg.BufferMemory, cfg.Store.RegionSize())
+	}
+	for i := n - 1; i >= 1; i-- {
+		c.free = append(c.free, i)
+	}
+	c.open = 0
+	c.openRegion(0)
+	return c, nil
+}
+
+// Clock exposes the engine's virtual clock.
+func (c *Cache) Clock() *sim.Clock { return c.clock }
+
+// RegionSize returns the store's region size.
+func (c *Cache) RegionSize() int64 { return c.store.RegionSize() }
+
+// openRegion initializes region id as the open region.
+func (c *Cache) openRegion(id int) {
+	m := &c.regions[id]
+	m.state = regionOpen
+	m.keys = m.keys[:0]
+	m.fill = 0
+	m.live = 0
+	m.openedAt = c.clock.Now()
+	m.elem = nil
+	if c.cfg.TrackValues {
+		if m.buf == nil {
+			m.buf = make([]byte, c.store.RegionSize())
+		}
+	}
+	c.open = id
+}
+
+// Set inserts or replaces key with a value of length valLen. value may be
+// nil for a metadata-only insert (sizes, timing, and index behaviour are
+// identical; only payload bytes are absent).
+func (c *Cache) Set(key string, value []byte, valLen int) error {
+	return c.SetTTL(key, value, valLen, 0)
+}
+
+// SetTTL is Set with a time-to-live measured on the virtual clock; the
+// item expires ttl after insertion (0 = never). Expired items answer Get
+// as misses and are lazily removed from the index.
+func (c *Cache) SetTTL(key string, value []byte, valLen int, ttl time.Duration) error {
+	if key == "" {
+		return ErrEmptyKey
+	}
+	if value != nil {
+		valLen = len(value)
+	}
+	start := c.clock.Now()
+	c.sets.Inc()
+	size := itemHeaderSize + int64(len(key)) + int64(valLen)
+	if size > c.store.RegionSize() {
+		return fmt.Errorf("%w: item %d > region %d", ErrItemTooLarge, size, c.store.RegionSize())
+	}
+	if !c.cfg.Admission.Admit(key, valLen) {
+		c.rejects.Inc()
+		return nil
+	}
+
+	c.clock.Advance(c.cpu.IndexInsert)
+	// Roll the open region if the item does not fit.
+	if c.regions[c.open].fill+size > c.store.RegionSize() {
+		if err := c.rollRegion(); err != nil {
+			return err
+		}
+	}
+	c.appendItem(key, value, valLen)
+	if ttl > 0 {
+		e := c.index[key]
+		e.expireAt = uint32(((c.clock.Now() + ttl) / time.Second) + 1)
+		c.index[key] = e
+	}
+	c.hostBytes.Add(uint64(size))
+	c.setLat.Observe(c.clock.Now() - start)
+	return nil
+}
+
+// appendItem packs one item into the open region (which must have room)
+// and indexes it. With TrackValues, the on-flash layout is
+// [header: keyLen|valLen|flags|checksum][key][value]; the checksum guards
+// read-back integrity across region stores, migrations, and recovery.
+func (c *Cache) appendItem(key string, value []byte, valLen int) {
+	m := &c.regions[c.open]
+	// Replacing an existing key: the old copy becomes dead weight in its
+	// region (reclaimed only when that region is evicted).
+	if old, ok := c.index[key]; ok {
+		if r := &c.regions[old.region]; r.live > 0 {
+			r.live--
+		}
+	}
+	size := itemHeaderSize + int64(len(key)) + int64(valLen)
+	off := uint32(m.fill)
+	if c.cfg.TrackValues && value != nil {
+		p := m.buf[m.fill:]
+		binary.LittleEndian.PutUint16(p[0:], uint16(len(key)))
+		binary.LittleEndian.PutUint32(p[2:], uint32(valLen))
+		binary.LittleEndian.PutUint64(p[8:], itemChecksum(key, value))
+		copy(p[itemHeaderSize:], key)
+		copy(p[itemHeaderSize+len(key):], value)
+	}
+	c.clock.Advance(c.cpu.AppendItem + c.cpu.AppendPerKiB*time.Duration((size+1023)/1024))
+	m.fill += size
+	m.live++
+	m.keys = append(m.keys, key)
+	c.index[key] = entry{
+		region: int32(c.open),
+		offset: off,
+		keyLen: uint16(len(key)),
+		valLen: uint32(valLen),
+	}
+}
+
+// itemChecksum hashes key and value for the on-flash header.
+func itemChecksum(key string, value []byte) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h.Write(value)
+	return h.Sum64()
+}
+
+// rollRegion flushes the open region and installs a fresh one, evicting the
+// policy victim when the free list is empty. This is the only place the
+// engine stalls: on pipeline saturation and on eviction bookkeeping.
+func (c *Cache) rollRegion() error {
+	id := c.open
+	m := &c.regions[id]
+
+	// Figure 3's measurement: time to fill this buffer, stall-inclusive.
+	c.fillLog = append(c.fillLog, FillRecord{
+		Seq:      c.seq,
+		Duration: c.clock.Now() - m.openedAt,
+		Evicted:  len(c.free) == 0,
+	})
+	c.seq++
+	// The successor's fill time starts now: everything below (pipeline
+	// waits, flush submission, eviction) is insertion-path stall charged
+	// to the next region's record, as the paper measures it.
+	rollStart := c.clock.Now()
+
+	// Pipeline admission: wait for the oldest in-flight flush if all
+	// buffers are busy.
+	if len(c.inflight) > 0 && len(c.inflight) >= c.maxInflight {
+		oldest := c.inflight[0]
+		c.inflight = c.inflight[1:]
+		c.completeFlush(oldest)
+	}
+
+	now := c.clock.Now()
+	lat, err := c.store.WriteRegion(now, id, m.buf)
+	if err != nil {
+		return fmt.Errorf("cache: flush region %d: %w", id, err)
+	}
+	// The synchronous share of the flush (filesystem CPU, a device GC
+	// stall inside the write syscall) occupies this thread even though the
+	// device write itself is pipelined.
+	if sc, ok := c.store.(SyncCoster); ok {
+		c.clock.Advance(sc.WriteSyncCost())
+	}
+	c.flushes.Inc()
+	m.state = regionFlushing
+	m.flushDone = now + lat
+	m.elem = c.order.PushFront(id)
+	if c.maxInflight == 0 {
+		// No spare buffer: the flush completes synchronously.
+		c.completeFlush(id)
+	} else {
+		c.inflight = append(c.inflight, id)
+	}
+
+	// Find the next region: free list first, then evict the LRU victim.
+	var next int
+	var reinsert []reinsertItem
+	if len(c.free) > 0 {
+		next = c.free[len(c.free)-1]
+		c.free = c.free[:len(c.free)-1]
+	} else {
+		victim, items, err := c.evictVictim()
+		if err != nil {
+			return err
+		}
+		next = victim
+		reinsert = items
+	}
+	c.openRegion(next)
+	c.regions[next].openedAt = rollStart
+	// Reinsertion (Navy's hits-based policy): hot items from the evicted
+	// region are rewritten into the fresh buffer, capped at its capacity.
+	for _, it := range reinsert {
+		size := itemHeaderSize + int64(len(it.key)) + int64(it.valLen)
+		if c.regions[next].fill+size > c.store.RegionSize() {
+			break
+		}
+		c.appendItem(it.key, it.value, it.valLen)
+		c.reinserts.Inc()
+	}
+	return nil
+}
+
+// reinsertItem is a hot item rescued from an evicted region.
+type reinsertItem struct {
+	key    string
+	value  []byte
+	valLen int
+}
+
+// completeFlush retires an in-flight flush, advancing the clock to its
+// completion if it has not finished yet.
+func (c *Cache) completeFlush(id int) {
+	m := &c.regions[id]
+	c.clock.AdvanceTo(m.flushDone)
+	if m.state == regionFlushing {
+		m.state = regionSealed
+	}
+	if !c.cfg.TrackValues {
+		m.buf = nil
+	}
+}
+
+// evictVictim drops the least-recently-used sealed region and returns its
+// id for reuse. Every key the region still indexes is removed — the
+// region-granular eviction CacheLib uses to avoid item-level flash GC.
+func (c *Cache) evictVictim() (int, []reinsertItem, error) {
+	back := c.order.Back()
+	if back == nil {
+		return 0, nil, fmt.Errorf("cache: no evictable region")
+	}
+	id := back.Value.(int)
+	m := &c.regions[id]
+	// A still-flushing victim must land before it can be reused.
+	if m.state == regionFlushing {
+		for i, f := range c.inflight {
+			if f == id {
+				c.inflight = append(c.inflight[:i], c.inflight[i+1:]...)
+				break
+			}
+		}
+		c.completeFlush(id)
+	}
+	c.order.Remove(back)
+	m.elem = nil
+
+	// Snapshot the victim's payload once if reinsertion may need bytes.
+	var regionBytes []byte
+	if c.cfg.ReinsertHits > 0 && c.cfg.TrackValues && m.fill > 0 {
+		n := int((m.fill + device.SectorSize - 1) / device.SectorSize * device.SectorSize)
+		regionBytes = make([]byte, n)
+		if _, err := c.store.ReadRegion(c.clock.Now(), id, regionBytes, n, 0); err != nil {
+			// Fall back to dropping everything; eviction must not fail.
+			regionBytes = nil
+		}
+	}
+
+	// Index cleanup under the shared lock: the insertion-time spike of
+	// Figure 3a. Zone-sized regions remove tens of thousands of keys here.
+	var dropped []string
+	var reinsert []reinsertItem
+	for _, k := range m.keys {
+		if e, ok := c.index[k]; ok && int(e.region) == id {
+			delete(c.index, k)
+			if c.cfg.ReinsertHits > 0 && e.hits >= c.cfg.ReinsertHits {
+				it := reinsertItem{key: k, valLen: int(e.valLen)}
+				if regionBytes != nil {
+					base := int64(e.offset) + itemHeaderSize + int64(e.keyLen)
+					if base+int64(e.valLen) <= int64(len(regionBytes)) {
+						it.value = append([]byte(nil), regionBytes[base:base+int64(e.valLen)]...)
+					}
+				}
+				reinsert = append(reinsert, it)
+			} else {
+				dropped = append(dropped, k)
+			}
+		}
+	}
+	c.clock.Advance(c.cpu.EvictPerKey * time.Duration(len(m.keys)))
+
+	now := c.clock.Now()
+	lat, err := c.store.EvictRegion(now, id)
+	if err != nil {
+		return 0, nil, fmt.Errorf("cache: evict region %d: %w", id, err)
+	}
+	c.clock.Advance(lat)
+	c.evicts.Inc()
+	if c.EvictedKeys != nil && len(dropped) > 0 {
+		c.EvictedKeys(dropped)
+	}
+	m.state = regionFree
+	return id, reinsert, nil
+}
+
+// WouldBlock reports whether inserting an item of the given sizes right now
+// would stall on the flush pipeline: the open region cannot take the item
+// and every region buffer is still being written out. Best-effort callers
+// (RocksDB's secondary-cache adapter) drop the insert instead of blocking —
+// CacheLib's allocation-failure behaviour under flush backlog, and the
+// mechanism that couples device stalls to hit ratio in Figure 5.
+func (c *Cache) WouldBlock(keyLen, valLen int) bool {
+	size := itemHeaderSize + int64(keyLen) + int64(valLen)
+	if c.regions[c.open].fill+size <= c.store.RegionSize() {
+		return false
+	}
+	if len(c.inflight) == 0 || len(c.inflight) < c.maxInflight {
+		return false
+	}
+	oldest := c.inflight[0]
+	return c.regions[oldest].flushDone > c.clock.Now()
+}
+
+// Get looks up key. With TrackValues it returns the payload; otherwise it
+// returns nil with found=true and all timing/accounting still exact.
+func (c *Cache) Get(key string) ([]byte, bool, error) {
+	start := c.clock.Now()
+	c.gets.Inc()
+	c.clock.Advance(c.cpu.IndexLookup)
+	e, ok := c.index[key]
+	if !ok {
+		c.hitRatio.Miss()
+		c.getLat.Observe(c.clock.Now() - start)
+		return nil, false, nil
+	}
+	if e.expireAt != 0 && c.clock.Now() >= time.Duration(e.expireAt)*time.Second {
+		// Lazy expiry: drop the index entry; the flash copy dies with its
+		// region.
+		delete(c.index, key)
+		if m := &c.regions[e.region]; m.live > 0 {
+			m.live--
+		}
+		c.expirations.Inc()
+		c.hitRatio.Miss()
+		c.getLat.Observe(c.clock.Now() - start)
+		return nil, false, nil
+	}
+	m := &c.regions[e.region]
+	var val []byte
+	switch m.state {
+	case regionOpen:
+		// Served straight from the in-memory buffer.
+		if c.cfg.TrackValues {
+			base := int64(e.offset) + itemHeaderSize + int64(e.keyLen)
+			val = append([]byte(nil), m.buf[base:base+int64(e.valLen)]...)
+		}
+	case regionFlushing:
+		// The buffer is being written out; real Navy serves such reads
+		// from the in-flight buffer. Model the same: memory-speed access.
+		if c.cfg.TrackValues {
+			base := int64(e.offset) + itemHeaderSize + int64(e.keyLen)
+			val = append([]byte(nil), m.buf[base:base+int64(e.valLen)]...)
+		}
+	case regionSealed:
+		// Device read of the sector-aligned span covering the item.
+		itemStart := int64(e.offset)
+		itemEnd := itemStart + e.itemSize()
+		alignedStart := itemStart / device.SectorSize * device.SectorSize
+		alignedEnd := (itemEnd + device.SectorSize - 1) / device.SectorSize * device.SectorSize
+		if alignedEnd > c.store.RegionSize() {
+			alignedEnd = c.store.RegionSize()
+		}
+		n := int(alignedEnd - alignedStart)
+		var p []byte
+		if c.cfg.TrackValues {
+			p = make([]byte, n)
+		}
+		lat, err := c.store.ReadRegion(c.clock.Now(), int(e.region), p, n, alignedStart)
+		if err != nil {
+			return nil, false, fmt.Errorf("cache: read region %d: %w", e.region, err)
+		}
+		c.clock.Advance(lat)
+		if c.cfg.TrackValues {
+			head := itemStart - alignedStart
+			base := head + itemHeaderSize + int64(e.keyLen)
+			val = append([]byte(nil), p[base:base+int64(e.valLen)]...)
+			// Verify the on-flash header checksum: corruption in the store,
+			// a GC migration, or recovery metadata would surface here.
+			want := binary.LittleEndian.Uint64(p[head+8 : head+16])
+			if got := itemChecksum(key, val); got != want {
+				return nil, false, fmt.Errorf("%w: key %q", ErrChecksum, key)
+			}
+		}
+	default:
+		// Entry pointing into a free region would be an index invariant
+		// violation; eviction always removes keys first.
+		return nil, false, fmt.Errorf("cache: index points to free region %d", e.region)
+	}
+	if c.cfg.Policy == LRU && m.elem != nil {
+		c.order.MoveToFront(m.elem)
+	}
+	if e.hits < ^uint8(0) {
+		e.hits++
+		c.index[key] = e
+	}
+	c.hitRatio.Hit()
+	c.getLat.Observe(c.clock.Now() - start)
+	return val, true, nil
+}
+
+// Contains reports whether key is present without touching recency or
+// latency accounting beyond the index lookup.
+func (c *Cache) Contains(key string) bool {
+	c.clock.Advance(c.cpu.IndexLookup)
+	_, ok := c.index[key]
+	return ok
+}
+
+// Delete removes key from the index. The flash copy stays until its region
+// is evicted (region-granular reclaim).
+func (c *Cache) Delete(key string) bool {
+	c.dels.Inc()
+	c.clock.Advance(c.cpu.IndexRemove)
+	e, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	delete(c.index, key)
+	if m := &c.regions[e.region]; m.live > 0 {
+		m.live--
+	}
+	return true
+}
+
+// Len returns the number of indexed items.
+func (c *Cache) Len() int { return len(c.index) }
+
+// RegionDroppable reports whether region id is sealed and sits in the
+// coldest coldFrac fraction of the eviction order. It is the cache-side
+// answer to the middle layer's co-design question (§3.4): "by using the
+// cache information or hints, the GC overhead can be effectively minimized
+// without explicitly sacrificing the cache hit ratio".
+func (c *Cache) RegionDroppable(id int, coldFrac float64) bool {
+	if id < 0 || id >= len(c.regions) {
+		return false
+	}
+	m := &c.regions[id]
+	if m.state != regionSealed || m.elem == nil {
+		return false
+	}
+	limit := int(float64(c.order.Len()) * coldFrac)
+	for e, i := c.order.Back(), 0; e != nil && i < limit; e, i = e.Prev(), i+1 {
+		if e.Value.(int) == id {
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateRegion force-evicts region id without a store call: the
+// middle-layer GC already discarded the bytes (co-design drop), so the
+// engine only cleans its index and returns the region to the free pool.
+func (c *Cache) InvalidateRegion(id int) {
+	if id < 0 || id >= len(c.regions) {
+		return
+	}
+	m := &c.regions[id]
+	if m.state != regionSealed {
+		return
+	}
+	var dropped []string
+	for _, k := range m.keys {
+		if e, ok := c.index[k]; ok && int(e.region) == id {
+			delete(c.index, k)
+			dropped = append(dropped, k)
+		}
+	}
+	c.clock.Advance(c.cpu.EvictPerKey * time.Duration(len(m.keys)))
+	if m.elem != nil {
+		c.order.Remove(m.elem)
+		m.elem = nil
+	}
+	m.state = regionFree
+	m.keys = m.keys[:0]
+	m.live = 0
+	c.free = append(c.free, id)
+	c.drops.Inc()
+	if c.EvictedKeys != nil && len(dropped) > 0 {
+		c.EvictedKeys(dropped)
+	}
+}
+
+// FillLog returns the per-region buffer fill records (Figure 3).
+func (c *Cache) FillLog() []FillRecord { return c.fillLog }
+
+// Drain completes all in-flight flushes (used before reading stats so the
+// simulated time covers all issued work).
+func (c *Cache) Drain() {
+	for _, id := range c.inflight {
+		c.completeFlush(id)
+	}
+	c.inflight = c.inflight[:0]
+}
+
+// Stats snapshots the engine counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Gets:           c.gets.Load(),
+		Sets:           c.sets.Load(),
+		Deletes:        c.dels.Load(),
+		Hits:           c.hitRatio.Hits(),
+		Misses:         c.hitRatio.Misses(),
+		HitRatio:       c.hitRatio.Ratio(),
+		Evictions:      c.evicts.Load(),
+		Reinsertions:   c.reinserts.Load(),
+		Expirations:    c.expirations.Load(),
+		CoDesignDrops:  c.drops.Load(),
+		Flushes:        c.flushes.Load(),
+		AdmitRejects:   c.rejects.Load(),
+		HostWriteBytes: c.hostBytes.Load(),
+		GetLatency:     c.getLat.Snapshot(),
+		SetLatency:     c.setLat.Snapshot(),
+		SimulatedTime:  c.clock.Now(),
+	}
+}
+
+// GetLatencyHistogram exposes the raw get-latency histogram for percentile
+// queries beyond the snapshot.
+func (c *Cache) GetLatencyHistogram() *stats.Histogram { return c.getLat }
+
+// SetLatencyHistogram exposes the raw set-latency histogram.
+func (c *Cache) SetLatencyHistogram() *stats.Histogram { return c.setLat }

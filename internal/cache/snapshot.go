@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Persistence ("warm roll"). A persistent cache must survive process
+// restarts without losing the flash contents — CacheLib serializes its
+// index and region metadata at shutdown and recovers them at startup,
+// which is what makes the flash cache *persistent* rather than merely
+// large. Snapshot captures everything the engine needs to re-attach to a
+// store whose regions still hold the data; Restore rebuilds an engine from
+// it.
+//
+// The open region's buffer is DRAM-only and is intentionally dropped, as
+// CacheLib drops its in-flight allocation regions on shutdown: its keys
+// are removed from the recovered index and the region restarts empty.
+
+// snapshotVersion guards against format drift.
+const snapshotVersion = 1
+
+// snapEntry mirrors entry with exported fields for gob.
+type snapEntry struct {
+	Key      string
+	Region   int32
+	Offset   uint32
+	KeyLen   uint16
+	ValLen   uint32
+	Hits     uint8
+	ExpireAt uint32
+}
+
+// snapRegion mirrors the durable part of regionMeta.
+type snapRegion struct {
+	State regionState
+	Keys  []string
+	Fill  int64
+	Live  int
+}
+
+type snapshotData struct {
+	Version    int
+	RegionSize int64
+	NumRegions int
+	Entries    []snapEntry
+	Regions    []snapRegion
+	Order      []int // region ids, MRU first
+	Free       []int
+	Open       int
+	Seq        uint64
+}
+
+// Snapshot serializes the engine's recovery metadata. Call at a quiescent
+// point (no in-flight flushes are carried over: Snapshot drains first).
+func (c *Cache) Snapshot() ([]byte, error) {
+	c.Drain()
+	s := snapshotData{
+		Version:    snapshotVersion,
+		RegionSize: c.store.RegionSize(),
+		NumRegions: c.store.NumRegions(),
+		Open:       c.open,
+		Seq:        c.seq,
+		Free:       append([]int(nil), c.free...),
+	}
+	for k, e := range c.index {
+		s.Entries = append(s.Entries, snapEntry{
+			Key: k, Region: e.region, Offset: e.offset,
+			KeyLen: e.keyLen, ValLen: e.valLen, Hits: e.hits,
+			ExpireAt: e.expireAt,
+		})
+	}
+	s.Regions = make([]snapRegion, len(c.regions))
+	for i := range c.regions {
+		m := &c.regions[i]
+		s.Regions[i] = snapRegion{
+			State: m.state,
+			Keys:  append([]string(nil), m.keys...),
+			Fill:  m.fill,
+			Live:  m.live,
+		}
+	}
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		s.Order = append(s.Order, e.Value.(int))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+		return nil, fmt.Errorf("cache: snapshot encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Restore builds an engine over store from a Snapshot taken against the
+// same store contents. The store must still hold the sealed regions'
+// bytes; the engine trusts the snapshot's metadata about them.
+func Restore(cfg Config, snapshot []byte) (*Cache, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var s snapshotData
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("cache: snapshot decode: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("cache: snapshot version %d unsupported", s.Version)
+	}
+	if s.RegionSize != c.store.RegionSize() || s.NumRegions != c.store.NumRegions() {
+		return nil, fmt.Errorf("cache: snapshot taken against %d regions of %d bytes; store has %d of %d",
+			s.NumRegions, s.RegionSize, c.store.NumRegions(), c.store.RegionSize())
+	}
+
+	// Wipe the fresh-engine scaffolding New installed.
+	c.index = make(map[string]entry, len(s.Entries))
+	c.order.Init()
+	c.free = nil
+	c.seq = s.Seq
+
+	for i := range c.regions {
+		m := &c.regions[i]
+		src := s.Regions[i]
+		m.state = src.State
+		m.keys = append(m.keys[:0], src.Keys...)
+		m.fill = src.Fill
+		m.live = src.Live
+		m.elem = nil
+		// Flushing states cannot survive a restart; the device write either
+		// completed (treat as sealed — the simulation's stores complete
+		// writes they acknowledged) or the region is dropped below.
+		if m.state == regionFlushing {
+			m.state = regionSealed
+		}
+	}
+	for _, e := range s.Entries {
+		// Keys living in the open region are dropped: its buffer was DRAM.
+		if int(e.Region) == s.Open {
+			continue
+		}
+		c.index[e.Key] = entry{
+			region: e.Region, offset: e.Offset,
+			keyLen: e.KeyLen, valLen: e.ValLen, hits: e.Hits,
+			expireAt: e.ExpireAt,
+		}
+	}
+	for _, id := range s.Order {
+		if id == s.Open {
+			continue
+		}
+		c.regions[id].elem = c.order.PushBack(id)
+	}
+	c.free = append(c.free, s.Free...)
+	// Reopen the snapshot's open region as a fresh buffer.
+	c.open = s.Open
+	c.openRegion(s.Open)
+	return c, nil
+}

@@ -1,0 +1,60 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestCheckRangeAccepts(t *testing.T) {
+	cases := []struct {
+		off  int64
+		n    int
+		size int64
+	}{
+		{0, SectorSize, SectorSize},
+		{0, 0, 0},
+		{4096, 8192, 16384},
+		{SectorSize * 7, SectorSize, SectorSize * 8},
+	}
+	for _, c := range cases {
+		if err := CheckRange(c.off, c.n, c.size); err != nil {
+			t.Errorf("CheckRange(%d, %d, %d) = %v, want nil", c.off, c.n, c.size, err)
+		}
+	}
+}
+
+func TestCheckRangeRejects(t *testing.T) {
+	cases := []struct {
+		off  int64
+		n    int
+		size int64
+		want error
+	}{
+		{1, SectorSize, 1 << 20, ErrAlignment},
+		{0, 100, 1 << 20, ErrAlignment},
+		{0, SectorSize, SectorSize - 1, ErrOutOfRange},
+		{SectorSize, SectorSize, SectorSize, ErrOutOfRange},
+		{-SectorSize, SectorSize, 1 << 20, ErrOutOfRange},
+		{0, -SectorSize, 1 << 20, ErrOutOfRange},
+	}
+	for _, c := range cases {
+		if err := CheckRange(c.off, c.n, c.size); !errors.Is(err, c.want) {
+			t.Errorf("CheckRange(%d, %d, %d) = %v, want %v", c.off, c.n, c.size, err, c.want)
+		}
+	}
+}
+
+func TestCheckRangeProperty(t *testing.T) {
+	// Any aligned window fully inside the device passes; shifting it past
+	// the end fails.
+	if err := quick.Check(func(sectors uint8, at uint8) bool {
+		size := int64(sectors+1) * SectorSize
+		off := int64(at) * SectorSize
+		in := CheckRange(off, SectorSize, size) == nil
+		wantIn := off+SectorSize <= size
+		return in == wantIn
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}

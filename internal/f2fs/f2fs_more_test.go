@@ -1,0 +1,115 @@
+package f2fs
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"znscache/internal/sim"
+)
+
+func TestMultipleFilesIsolated(t *testing.T) {
+	fs := mountTest(t, true)
+	a, err := fs.Create("a", 8*BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs.Create("b", 8*BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	av := bytes.Repeat([]byte{0xAA}, BlockSize)
+	bv := bytes.Repeat([]byte{0xBB}, BlockSize)
+	a.WriteAt(0, av, BlockSize, 0)
+	b.WriteAt(0, bv, BlockSize, 0)
+	got := make([]byte, BlockSize)
+	a.ReadAt(0, got, 0)
+	if !bytes.Equal(got, av) {
+		t.Fatal("file a corrupted by file b's write")
+	}
+	b.ReadAt(0, got, 0)
+	if !bytes.Equal(got, bv) {
+		t.Fatal("file b corrupted")
+	}
+}
+
+func TestCreateAccountsAcrossFiles(t *testing.T) {
+	fs := mountTest(t, false)
+	half := alignBlocks(fs.UsableBytes() / 2)
+	if _, err := fs.Create("a", half); err != nil {
+		t.Fatal(err)
+	}
+	// A second file of more than the remainder must be rejected.
+	if _, err := fs.Create("b", fs.UsableBytes()-half+BlockSize); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("overcommit across files err = %v", err)
+	}
+	if _, err := fs.Create("b", alignBlocks(fs.UsableBytes()-half)); err != nil {
+		t.Fatalf("exact-fit second file: %v", err)
+	}
+}
+
+func TestSyncWithoutDirtyNodesIsNoop(t *testing.T) {
+	fs := mountTest(t, false)
+	before := fs.WA.Media()
+	if _, err := fs.Sync(0); err != nil {
+		t.Fatal(err)
+	}
+	if fs.WA.Media() != before {
+		t.Fatal("empty Sync wrote node blocks")
+	}
+}
+
+func TestMetaOverheadShrinksUsable(t *testing.T) {
+	plain, err := Mount(testDev(t, false), Config{OPRatio: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := Mount(testDev(t, false), Config{OPRatio: 0.2, MetaOverhead: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heavy.UsableBytes() >= plain.UsableBytes() {
+		t.Fatalf("MetaOverhead did not shrink usable: %d vs %d",
+			heavy.UsableBytes(), plain.UsableBytes())
+	}
+}
+
+func TestSequentialLargeWriteSpansSegments(t *testing.T) {
+	// One write larger than a zone must stream across segments without
+	// violating device write-pointer rules.
+	fs := mountTest(t, false)
+	zoneBytes := fs.dev.ZoneSize()
+	f, err := fs.Create("big", 3*zoneBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt(0, nil, int(2*zoneBytes), 0); err != nil {
+		t.Fatalf("multi-segment write: %v", err)
+	}
+	if fs.LiveBlocks() != 2*zoneBytes/BlockSize {
+		t.Fatalf("LiveBlocks = %d", fs.LiveBlocks())
+	}
+}
+
+func TestCleanerVictimThresholdRespected(t *testing.T) {
+	// With VictimMaxValid very low and plenty of free zones, the cleaner
+	// must refuse expensive victims instead of thrashing.
+	fs, err := Mount(testDev(t, false), Config{OPRatio: 0.4, VictimMaxValid: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := alignBlocks(fs.UsableBytes() / 2)
+	f, _ := fs.Create("f", size)
+	blocks := size / BlockSize
+	rng := sim.NewRand(7)
+	for i := int64(0); i < blocks*3; i++ {
+		if _, err := f.WriteAt(0, nil, BlockSize, rng.Int63n(blocks)*BlockSize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Half-utilized FS with huge OP: cleaning may run on fully-dead
+	// segments but must not migrate valid blocks of expensive ones.
+	if fs.WA.Factor() > 1.2 {
+		t.Fatalf("cleaner migrated heavily (WA %.2f) despite 1%% victim threshold", fs.WA.Factor())
+	}
+}

@@ -1,0 +1,294 @@
+package flash
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func testGeo() Geometry {
+	return Geometry{Channels: 2, DiesPerChan: 2, BlocksPerDie: 4, PagesPerBlock: 8, PageSize: 512}
+}
+
+func newTestArray(t *testing.T, store bool) *Array {
+	t.Helper()
+	a, err := NewArray(testGeo(), DefaultTiming(), store)
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	return a
+}
+
+func TestGeometryMath(t *testing.T) {
+	g := testGeo()
+	if g.Dies() != 4 {
+		t.Fatalf("Dies = %d, want 4", g.Dies())
+	}
+	if g.Blocks() != 16 {
+		t.Fatalf("Blocks = %d, want 16", g.Blocks())
+	}
+	if g.Pages() != 128 {
+		t.Fatalf("Pages = %d, want 128", g.Pages())
+	}
+	if g.TotalBytes() != 128*512 {
+		t.Fatalf("TotalBytes = %d, want %d", g.TotalBytes(), 128*512)
+	}
+	if g.BlockBytes() != 8*512 {
+		t.Fatalf("BlockBytes = %d, want %d", g.BlockBytes(), 8*512)
+	}
+}
+
+func TestGeometryValidate(t *testing.T) {
+	bad := []Geometry{
+		{},
+		{Channels: 1},
+		{Channels: 1, DiesPerChan: 1, BlocksPerDie: 1, PagesPerBlock: 1, PageSize: 0},
+		{Channels: -1, DiesPerChan: 1, BlocksPerDie: 1, PagesPerBlock: 1, PageSize: 512},
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("case %d: Validate accepted invalid geometry %+v", i, g)
+		}
+	}
+	if err := testGeo().Validate(); err != nil {
+		t.Fatalf("valid geometry rejected: %v", err)
+	}
+}
+
+func TestProgramReadRoundTrip(t *testing.T) {
+	a := newTestArray(t, true)
+	want := bytes.Repeat([]byte{0xAB}, 512)
+	if _, err := a.Program(0, Addr{Block: 3, Page: 0}, want); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	_, got, err := a.Read(0, Addr{Block: 3, Page: 0})
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("read-back mismatch")
+	}
+}
+
+func TestMetadataOnlyReadsZeros(t *testing.T) {
+	a := newTestArray(t, false)
+	if _, err := a.Program(0, Addr{Block: 0, Page: 0}, bytes.Repeat([]byte{1}, 512)); err != nil {
+		t.Fatalf("Program: %v", err)
+	}
+	_, got, err := a.Read(0, Addr{Block: 0, Page: 0})
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != 512 || !bytes.Equal(got, make([]byte, 512)) {
+		t.Fatal("metadata-only array should return zero-filled pages")
+	}
+}
+
+func TestProgramNilDataAllowed(t *testing.T) {
+	a := newTestArray(t, true)
+	if _, err := a.Program(0, Addr{}, nil); err != nil {
+		t.Fatalf("nil-data Program: %v", err)
+	}
+	_, got, err := a.Read(0, Addr{})
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if len(got) != 512 {
+		t.Fatalf("read returned %d bytes, want full page", len(got))
+	}
+}
+
+func TestProgramOutOfOrderRejected(t *testing.T) {
+	a := newTestArray(t, true)
+	if _, err := a.Program(0, Addr{Block: 0, Page: 1}, nil); !errors.Is(err, ErrProgramOrder) {
+		t.Fatalf("out-of-order Program err = %v, want ErrProgramOrder", err)
+	}
+}
+
+func TestProgramTwiceRejected(t *testing.T) {
+	a := newTestArray(t, true)
+	mustProgram(t, a, Addr{Block: 0, Page: 0})
+	// Programming page 0 again: the write front moved, so it's an order error.
+	if _, err := a.Program(0, Addr{Block: 0, Page: 0}, nil); err == nil {
+		t.Fatal("reprogramming a page did not fail")
+	}
+}
+
+func TestReadFreePageRejected(t *testing.T) {
+	a := newTestArray(t, true)
+	if _, _, err := a.Read(0, Addr{Block: 1, Page: 0}); !errors.Is(err, ErrReadFree) {
+		t.Fatalf("read-free err = %v, want ErrReadFree", err)
+	}
+}
+
+func TestReadInvalidPageAllowed(t *testing.T) {
+	// Invalidated pages are still physically readable until erased; GC in
+	// the layers above relies on reading pages it is about to migrate.
+	a := newTestArray(t, true)
+	mustProgram(t, a, Addr{Block: 0, Page: 0})
+	if err := a.Invalidate(Addr{Block: 0, Page: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Read(0, Addr{Block: 0, Page: 0}); err != nil {
+		t.Fatalf("reading invalidated page: %v", err)
+	}
+}
+
+func TestAddressRangeChecks(t *testing.T) {
+	a := newTestArray(t, true)
+	cases := []Addr{
+		{Block: -1, Page: 0},
+		{Block: 16, Page: 0},
+		{Block: 0, Page: -1},
+		{Block: 0, Page: 8},
+	}
+	for _, addr := range cases {
+		if _, err := a.Program(0, addr, nil); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("Program(%v) err = %v, want ErrOutOfRange", addr, err)
+		}
+		if _, _, err := a.Read(0, addr); !errors.Is(err, ErrOutOfRange) {
+			t.Errorf("Read(%v) err = %v, want ErrOutOfRange", addr, err)
+		}
+	}
+	if _, err := a.Erase(0, 99); !errors.Is(err, ErrOutOfRange) {
+		t.Fatalf("Erase(99) err = %v, want ErrOutOfRange", err)
+	}
+}
+
+func TestWrongDataSizeRejected(t *testing.T) {
+	a := newTestArray(t, true)
+	if _, err := a.Program(0, Addr{}, []byte{1, 2, 3}); !errors.Is(err, ErrDataSize) {
+		t.Fatalf("short-data Program err = %v, want ErrDataSize", err)
+	}
+}
+
+func TestEraseFreesAndBumpsWear(t *testing.T) {
+	a := newTestArray(t, true)
+	for p := 0; p < 8; p++ {
+		mustProgram(t, a, Addr{Block: 2, Page: p})
+	}
+	if a.ValidPages(2) != 8 {
+		t.Fatalf("ValidPages = %d, want 8", a.ValidPages(2))
+	}
+	if _, err := a.Erase(0, 2); err != nil {
+		t.Fatalf("Erase: %v", err)
+	}
+	if a.ValidPages(2) != 0 || a.WriteFront(2) != 0 {
+		t.Fatal("erase did not reset block state")
+	}
+	if a.EraseCount(2) != 1 {
+		t.Fatalf("EraseCount = %d, want 1", a.EraseCount(2))
+	}
+	if st, _ := a.State(Addr{Block: 2, Page: 0}); st != PageFree {
+		t.Fatalf("page state after erase = %v, want PageFree", st)
+	}
+	// Block is programmable again from page 0.
+	mustProgram(t, a, Addr{Block: 2, Page: 0})
+}
+
+func TestInvalidateMaintainsValidCount(t *testing.T) {
+	a := newTestArray(t, true)
+	for p := 0; p < 4; p++ {
+		mustProgram(t, a, Addr{Block: 5, Page: p})
+	}
+	a.Invalidate(Addr{Block: 5, Page: 1})
+	a.Invalidate(Addr{Block: 5, Page: 1}) // double-invalidate is a no-op
+	a.Invalidate(Addr{Block: 5, Page: 3})
+	if got := a.ValidPages(5); got != 2 {
+		t.Fatalf("ValidPages = %d, want 2", got)
+	}
+}
+
+func TestTimingDieSerialization(t *testing.T) {
+	// Two programs to the same die must serialize; to different dies they
+	// overlap. Blocks 0 and 4 share die 0 (16 blocks / 4 dies interleaved);
+	// blocks 0 and 1 are on different dies.
+	g := testGeo()
+	a, _ := NewArray(g, DefaultTiming(), false)
+	tm := DefaultTiming()
+
+	d1, err := a.Program(0, Addr{Block: 0, Page: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := a.Program(0, Addr{Block: 4, Page: 0}, nil) // same die as block 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 < d1+tm.ProgPage {
+		t.Fatalf("same-die programs overlapped: first done %v, second done %v", d1, d2)
+	}
+
+	b, _ := NewArray(g, DefaultTiming(), false)
+	e1, _ := b.Program(0, Addr{Block: 0, Page: 0}, nil)
+	e2, err := b.Program(0, Addr{Block: 1, Page: 0}, nil) // different die & channel
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 >= e1+tm.ProgPage {
+		t.Fatalf("different-die programs fully serialized: %v then %v", e1, e2)
+	}
+}
+
+func TestTimingMonotoneCompletion(t *testing.T) {
+	a := newTestArray(t, false)
+	done, err := a.Program(100*time.Microsecond, Addr{Block: 0, Page: 0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 100*time.Microsecond {
+		t.Fatalf("completion %v not after arrival", done)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	a := newTestArray(t, true)
+	mustProgram(t, a, Addr{Block: 0, Page: 0})
+	a.Read(0, Addr{Block: 0, Page: 0})
+	a.Erase(0, 0)
+	if a.Programs.Load() != 1 || a.Reads.Load() != 1 || a.Erases.Load() != 1 {
+		t.Fatalf("counters = P%d R%d E%d, want 1/1/1",
+			a.Programs.Load(), a.Reads.Load(), a.Erases.Load())
+	}
+	if a.MaxEraseCount() != 1 || a.TotalErases() != 1 {
+		t.Fatal("wear accounting wrong")
+	}
+}
+
+// Property: programming all pages of any block in order always succeeds and
+// leaves every page valid; a full erase cycle restores programmability.
+func TestBlockLifecycleProperty(t *testing.T) {
+	if err := quick.Check(func(blockSel uint8, cycles uint8) bool {
+		a, _ := NewArray(testGeo(), DefaultTiming(), false)
+		block := int(blockSel) % a.Geometry().Blocks()
+		n := int(cycles)%3 + 1
+		for c := 0; c < n; c++ {
+			for p := 0; p < a.Geometry().PagesPerBlock; p++ {
+				if _, err := a.Program(0, Addr{Block: block, Page: p}, nil); err != nil {
+					return false
+				}
+			}
+			if a.ValidPages(block) != a.Geometry().PagesPerBlock {
+				return false
+			}
+			if _, err := a.Erase(0, block); err != nil {
+				return false
+			}
+			if a.ValidPages(block) != 0 {
+				return false
+			}
+		}
+		return a.EraseCount(block) == uint32(n)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustProgram(t *testing.T, a *Array, addr Addr) {
+	t.Helper()
+	if _, err := a.Program(0, addr, nil); err != nil {
+		t.Fatalf("Program(%v): %v", addr, err)
+	}
+}

@@ -1,0 +1,115 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// fmtDur renders a duration with millisecond-class precision.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1000)
+	}
+}
+
+// PrintFig2 renders the Figure 2 comparison.
+func PrintFig2(w io.Writer, rows []SchemeResult) {
+	fmt.Fprintln(w, "Figure 2 — overall comparison (CacheBench bc mix)")
+	fmt.Fprintf(w, "%-14s %12s %10s %8s %10s %10s\n",
+		"scheme", "ops/sec", "hit-ratio", "WAF", "get-p50", "get-p99")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %12.0f %9.2f%% %8.2f %10s %10s\n",
+			r.Scheme, r.OpsPerSec, r.HitRatio*100, r.WAFactor,
+			fmtDur(r.GetP50), fmtDur(r.GetP99))
+	}
+}
+
+// PrintFig3 renders the Figure 3 fill-time summary plus a sampled series.
+func PrintFig3(w io.Writer, rows []Fig3Result) {
+	fmt.Fprintln(w, "Figure 3 — region buffer fill time vs region sequence")
+	for _, r := range rows {
+		fmt.Fprintf(w, "\n[%s] region=%d bytes, eviction onset at seq %d\n",
+			r.Label, r.RegionBytes, r.EvictionOnsetSeq)
+		fmt.Fprintf(w, "  mean fill before onset: %s   after onset: %s (%.1fx)\n",
+			fmtDur(r.MeanBefore), fmtDur(r.MeanAfter),
+			float64(r.MeanAfter)/float64(max64(1, int64(r.MeanBefore))))
+		// Sample ~20 points across the series for the "plot".
+		step := len(r.Records)/20 + 1
+		fmt.Fprintf(w, "  %-8s %s\n", "seq", "fill-time")
+		for i := 0; i < len(r.Records); i += step {
+			rec := r.Records[i]
+			marker := ""
+			if rec.Evicted {
+				marker = "  *evicting"
+			}
+			fmt.Fprintf(w, "  %-8d %s%s\n", rec.Seq, fmtDur(rec.Duration), marker)
+		}
+	}
+}
+
+// PrintFig4Table1 renders the OP sweep and the Table 1 WA factors.
+func PrintFig4Table1(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "Figure 4 — throughput and hit ratio under OP ratios")
+	fmt.Fprintf(w, "%-14s %6s %12s %10s\n", "scheme", "OP", "ops/sec", "hit-ratio")
+	for _, r := range rows {
+		op := "none"
+		if r.OPRatio > 0 {
+			op = fmt.Sprintf("%.0f%%", r.OPRatio*100)
+		}
+		fmt.Fprintf(w, "%-14s %6s %12.0f %9.2f%%\n",
+			r.Scheme, op, r.Result.OpsPerSec, r.Result.HitRatio*100)
+	}
+	fmt.Fprintln(w, "\nTable 1 — WA factor under OP ratios")
+	fmt.Fprintf(w, "%-14s %6s %8s\n", "scheme", "OP", "WAF")
+	for _, r := range rows {
+		op := "0%"
+		if r.OPRatio > 0 {
+			op = fmt.Sprintf("%.0f%%", r.OPRatio*100)
+		}
+		fmt.Fprintf(w, "%-14s %6s %8.2f\n", r.Scheme, op, r.Result.WAFactor)
+	}
+}
+
+// PrintFig5 renders the RocksDB end-to-end comparison.
+func PrintFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "Figure 5 — RocksDB with each scheme as secondary cache")
+	fmt.Fprintf(w, "%-14s %5s %12s %10s %10s %10s\n",
+		"scheme", "ER", "ops/sec", "hit-ratio", "P50", "P99")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %5.0f %12.0f %9.2f%% %10s %10s\n",
+			r.Scheme, r.ER, r.OpsPerSec, r.SecondaryHitRatio*100,
+			fmtDur(r.P50), fmtDur(r.P99))
+	}
+}
+
+// PrintTable2 renders the Zone-Cache size sweep.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2 — Zone-Cache cache-size sweep (readrandom, ER 25)")
+	fmt.Fprintf(w, "%-12s %12s %10s\n", "cache(zones)", "ops/sec", "hit-ratio")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12d %12.0f %9.2f%%\n", r.Zones, r.OpsPerSec, r.HitRatio*100)
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PrintSmallZone renders the small-zone hypothesis sweep.
+func PrintSmallZone(w io.Writer, rows []SmallZoneRow) {
+	fmt.Fprintln(w, "Small-zone hypothesis (§3.2/§4.2) — Zone-Cache vs zone size")
+	fmt.Fprintf(w, "%-26s %12s %10s %12s\n", "configuration", "ops/sec", "hit-ratio", "set-p99")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-26s %12.0f %9.2f%% %12s\n",
+			r.Label, r.Result.OpsPerSec, r.Result.HitRatio*100, fmtDur(r.Result.SetP99))
+	}
+}

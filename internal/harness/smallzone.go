@@ -1,0 +1,86 @@
+package harness
+
+import "fmt"
+
+// The small-zone hypothesis. The paper conjectures twice that Zone-Cache's
+// problems are an artifact of huge zones: "If the ZNS SSD is produced with
+// a small zone size (e.g., 16 or 64 MiB), Zone-Cache might be a good design
+// to avoid the overhead of large region size. However, the smaller zone may
+// have lower per-zone throughput which needs additional designs" (§3.2),
+// and "We expect a better performance when small zone sizes (e.g., Samsung
+// ZNS SSDs with 96 MiB zone size) are provided" (§4.2). This experiment
+// tests that conjecture: Zone-Cache across zone sizes on constant-capacity
+// hardware, with Region-Cache as the reference.
+
+// SmallZoneRow is one zone-size data point.
+type SmallZoneRow struct {
+	// Label names the configuration.
+	Label string
+	// ZoneMiB is the zone size (Zone-Cache rows) or 0 for the reference.
+	ZoneMiB int
+	Result  SchemeResult
+}
+
+// SmallZoneParams sizes the experiment.
+type SmallZoneParams struct {
+	// DeviceMiB is the constant flash capacity split into zones.
+	DeviceMiB int
+	// ZoneSizesMiB are the Zone-Cache zone sizes to sweep.
+	ZoneSizesMiB []int
+	Keys         int64
+	WarmupOps    int
+	MeasureOps   int
+	Seed         uint64
+}
+
+// DefaultSmallZone returns scaled defaults: the ZN540-class 16 MiB zone
+// (1077 MiB at paper scale) down to a Samsung-class 2 MiB zone (~96 MiB at
+// paper scale, ratio preserved).
+func DefaultSmallZone() SmallZoneParams {
+	return SmallZoneParams{
+		DeviceMiB:    400,
+		ZoneSizesMiB: []int{16, 8, 4, 2},
+		Keys:         72 << 10,
+		WarmupOps:    500_000,
+		MeasureOps:   400_000,
+		Seed:         6,
+	}
+}
+
+// RunSmallZone sweeps Zone-Cache over zone sizes and appends the
+// Region-Cache reference on the 16 MiB-zone device.
+func RunSmallZone(p SmallZoneParams) ([]SmallZoneRow, error) {
+	var out []SmallZoneRow
+	for _, zm := range p.ZoneSizesMiB {
+		hw := DefaultHW(p.DeviceMiB / zm)
+		hw.BlocksPerZone = zm // 1 MiB blocks
+		rig, err := Build(RigConfig{
+			Scheme:    ZoneCache,
+			HW:        hw,
+			ZoneCount: hw.actualZones(),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("smallzone %d MiB: %w", zm, err)
+		}
+		out = append(out, SmallZoneRow{
+			Label:   fmt.Sprintf("Zone-Cache %d MiB zones", zm),
+			ZoneMiB: zm,
+			Result:  RunBC(rig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed),
+		})
+	}
+	// Reference: Region-Cache on the large-zone device with the usual OP.
+	hw := DefaultHW(p.DeviceMiB / 16)
+	rig, err := Build(RigConfig{
+		Scheme:     RegionCache,
+		HW:         hw,
+		CacheBytes: int64(hw.actualZones()) * hw.ZoneBytes() * 20 / 25,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("smallzone reference: %w", err)
+	}
+	out = append(out, SmallZoneRow{
+		Label:  "Region-Cache (reference)",
+		Result: RunBC(rig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed),
+	})
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package hdd
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"znscache/internal/device"
+)
+
+func newTestDisk() *Disk {
+	return New(Config{Capacity: 1 << 30, StoreData: true})
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := newTestDisk()
+	want := bytes.Repeat([]byte{0x42}, 2*device.SectorSize)
+	if _, err := d.WriteAt(0, want, len(want), 8192); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	got := make([]byte, len(want))
+	if _, err := d.ReadAt(0, got, 8192); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("round-trip mismatch")
+	}
+}
+
+func TestUnwrittenReadsZero(t *testing.T) {
+	d := newTestDisk()
+	got := bytes.Repeat([]byte{1}, device.SectorSize)
+	d.ReadAt(0, got, 0)
+	if !bytes.Equal(got, make([]byte, device.SectorSize)) {
+		t.Fatal("unwritten sector not zero")
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	d := newTestDisk()
+	if _, err := d.ReadAt(0, make([]byte, device.SectorSize), d.Size()); !errors.Is(err, device.ErrOutOfRange) {
+		t.Fatalf("oob read err = %v", err)
+	}
+	if _, err := d.WriteAt(0, nil, 100, 0); !errors.Is(err, device.ErrAlignment) {
+		t.Fatalf("misaligned write err = %v", err)
+	}
+	if err := d.Discard(0, device.SectorSize); err != nil {
+		t.Fatalf("Discard: %v", err)
+	}
+}
+
+func TestRandomAccessCostsSeek(t *testing.T) {
+	d := New(Config{Capacity: 1 << 30})
+	lat1, _ := d.ReadAt(0, make([]byte, device.SectorSize), 0)
+	// Far-away access after the first: must pay seek + rotation (~12.6ms).
+	lat2, _ := d.ReadAt(lat1, make([]byte, device.SectorSize), 512<<20)
+	if lat2 < 10*time.Millisecond {
+		t.Fatalf("random read latency %v, want ≥10ms", lat2)
+	}
+	if d.Seeks.Load() != 2 {
+		t.Fatalf("Seeks = %d, want 2", d.Seeks.Load())
+	}
+}
+
+func TestSequentialAccessSkipsSeek(t *testing.T) {
+	d := New(Config{Capacity: 1 << 30})
+	now, _ := d.ReadAt(0, make([]byte, device.SectorSize), 0)
+	lat, _ := d.ReadAt(now, make([]byte, device.SectorSize), device.SectorSize)
+	if lat > time.Millisecond {
+		t.Fatalf("sequential read latency %v, want sub-ms transfer only", lat)
+	}
+	if d.Seeks.Load() != 1 {
+		t.Fatalf("Seeks = %d, want 1 (first access only)", d.Seeks.Load())
+	}
+}
+
+func TestArmSerializes(t *testing.T) {
+	// Two random I/Os issued at the same instant: the second queues behind
+	// the first on the single arm.
+	d := New(Config{Capacity: 1 << 30})
+	lat1, _ := d.ReadAt(0, make([]byte, device.SectorSize), 0)
+	lat2, _ := d.ReadAt(0, make([]byte, device.SectorSize), 600<<20)
+	if lat2 <= lat1 {
+		t.Fatalf("second concurrent read (%v) did not queue behind first (%v)", lat2, lat1)
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	d := New(Config{Capacity: 1 << 30})
+	d.ReadAt(0, make([]byte, device.SectorSize), 0) // position the head
+	small, _ := d.ReadAt(time.Second, make([]byte, device.SectorSize), device.SectorSize)
+	big, _ := d.ReadAt(2*time.Second, make([]byte, 256*device.SectorSize), 2*device.SectorSize)
+	if big <= small {
+		t.Fatalf("1MiB transfer (%v) not slower than 4KiB (%v)", big, small)
+	}
+}

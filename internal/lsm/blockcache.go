@@ -1,0 +1,97 @@
+package lsm
+
+import (
+	"container/list"
+	"fmt"
+)
+
+// blockID names one data block globally.
+type blockID struct {
+	table int64
+	block int
+}
+
+// cacheKey renders the block identity as the secondary-cache key, matching
+// RocksDB's practice of keying the secondary cache by block handle.
+func (b blockID) cacheKey() string {
+	return fmt.Sprintf("t%d#b%d", b.table, b.block)
+}
+
+// SecondaryCache is the hook the four schemes plug into: CacheLib serving
+// as RocksDB's secondary (flash) cache (§4.2). Implementations charge their
+// own latency to the shared virtual clock.
+type SecondaryCache interface {
+	// Lookup reports whether the block is cached (promoting it is the
+	// caller's job). sizeHint is the block's byte size.
+	Lookup(key string, sizeHint int) bool
+	// Insert stores the block (metadata-only content is fine).
+	Insert(key string, size int)
+}
+
+// dramCache is the primary (DRAM) block cache: strict LRU over whole
+// blocks, capacity in bytes. On eviction, the victim spills to the
+// secondary cache — the RocksDB secondary-cache contract.
+type dramCache struct {
+	capacity int64
+	used     int64
+	entries  map[blockID]*list.Element
+	order    *list.List // front = MRU
+	spill    SecondaryCache
+
+	hits   uint64
+	misses uint64
+}
+
+type dramEntry struct {
+	id   blockID
+	size int
+}
+
+func newDRAMCache(capacity int64, spill SecondaryCache) *dramCache {
+	return &dramCache{
+		capacity: capacity,
+		entries:  make(map[blockID]*list.Element),
+		order:    list.New(),
+		spill:    spill,
+	}
+}
+
+// lookup reports a hit and refreshes recency.
+func (c *dramCache) lookup(id blockID) bool {
+	if e, ok := c.entries[id]; ok {
+		c.order.MoveToFront(e)
+		c.hits++
+		return true
+	}
+	c.misses++
+	return false
+}
+
+// insert adds a block, evicting LRU victims to the secondary cache.
+func (c *dramCache) insert(id blockID, size int) {
+	if e, ok := c.entries[id]; ok {
+		c.order.MoveToFront(e)
+		return
+	}
+	for c.used+int64(size) > c.capacity && c.order.Len() > 0 {
+		back := c.order.Back()
+		victim := back.Value.(dramEntry)
+		c.order.Remove(back)
+		delete(c.entries, victim.id)
+		c.used -= int64(victim.size)
+		if c.spill != nil {
+			c.spill.Insert(victim.id.cacheKey(), victim.size)
+		}
+	}
+	if int64(size) > c.capacity {
+		return // block larger than the whole cache: don't cache
+	}
+	c.entries[id] = c.order.PushFront(dramEntry{id: id, size: size})
+	c.used += int64(size)
+}
+
+// noSecondary is the null secondary cache (plain RocksDB).
+type noSecondary struct{}
+
+func (noSecondary) Lookup(string, int) bool { return false }
+func (noSecondary) Insert(string, int)      {}

@@ -1,0 +1,53 @@
+package lsm
+
+import "hash/fnv"
+
+// bloom is a fixed-size Bloom filter with k=4 derived hash probes, built
+// once per SSTable over its keys. RocksDB relies on per-table filters to
+// skip tables without touching the disk; without them every point lookup
+// would pay one block read per overlapping table.
+type bloom struct {
+	bits  []uint64
+	nbits uint64
+}
+
+// bloomBitsPerKey matches RocksDB's default of 10 bits/key (~1% FPR).
+const bloomBitsPerKey = 10
+
+func newBloom(expectedKeys int) *bloom {
+	if expectedKeys < 1 {
+		expectedKeys = 1
+	}
+	words := (expectedKeys*bloomBitsPerKey + 63) / 64
+	return &bloom{bits: make([]uint64, words), nbits: uint64(words) * 64}
+}
+
+func (b *bloom) probes(key string) [4]uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h2 := h1>>29 | h1<<35
+	var p [4]uint64
+	for i := range p {
+		p[i] = (h1 + uint64(i)*h2) % b.nbits
+	}
+	return p
+}
+
+func (b *bloom) add(key string) {
+	for _, p := range b.probes(key) {
+		b.bits[p/64] |= 1 << (p % 64)
+	}
+}
+
+func (b *bloom) mayContain(key string) bool {
+	for _, p := range b.probes(key) {
+		if b.bits[p/64]&(1<<(p%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// sizeBytes reports the filter's memory footprint (stats only).
+func (b *bloom) sizeBytes() int { return len(b.bits) * 8 }

@@ -1,0 +1,170 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIteratorFullScanSorted(t *testing.T) {
+	db := testDB(t)
+	want := []string{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%04d", i*3%500)
+		db.Put(k, []byte(k+"-v"), 0)
+	}
+	seen := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		k := fmt.Sprintf("key-%04d", i*3%500)
+		if !seen[k] {
+			seen[k] = true
+			want = append(want, k)
+		}
+	}
+	sort.Strings(want)
+	db.Flush() // spread data across levels
+
+	it := db.NewIterator("", "")
+	var got []string
+	for it.Next() {
+		got = append(got, it.Key())
+		if string(it.Value()) != it.Key()+"-v" {
+			t.Fatalf("value mismatch at %s", it.Key())
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIteratorNewestVersionWins(t *testing.T) {
+	db := testDB(t)
+	db.Put("k", []byte("old"), 0)
+	db.Flush() // old version lives in a table
+	db.Put("k", []byte("new"), 0)
+
+	it := db.NewIterator("", "")
+	if !it.Next() {
+		t.Fatal("empty scan")
+	}
+	if it.Key() != "k" || string(it.Value()) != "new" {
+		t.Fatalf("got (%s, %s), want (k, new)", it.Key(), it.Value())
+	}
+	if it.Next() {
+		t.Fatal("duplicate key surfaced")
+	}
+}
+
+func TestIteratorTombstoneSuppresses(t *testing.T) {
+	db := testDB(t)
+	db.Put("a", []byte("1"), 0)
+	db.Put("b", []byte("2"), 0)
+	db.Flush()
+	db.Delete("a")
+
+	it := db.NewIterator("", "")
+	var keys []string
+	for it.Next() {
+		keys = append(keys, it.Key())
+	}
+	if len(keys) != 1 || keys[0] != "b" {
+		t.Fatalf("scan = %v, want [b]", keys)
+	}
+}
+
+func TestIteratorRangeBounds(t *testing.T) {
+	db := testDB(t)
+	for i := 0; i < 100; i++ {
+		db.Put(fmt.Sprintf("key-%03d", i), nil, 8)
+	}
+	db.Flush()
+	it := db.NewIterator("key-020", "key-030")
+	var keys []string
+	for it.Next() {
+		keys = append(keys, it.Key())
+	}
+	if len(keys) != 10 {
+		t.Fatalf("range scan returned %d keys, want 10: %v", len(keys), keys)
+	}
+	if keys[0] != "key-020" || keys[9] != "key-029" {
+		t.Fatalf("bounds wrong: %v", keys)
+	}
+}
+
+func TestIteratorEmptyRange(t *testing.T) {
+	db := testDB(t)
+	db.Put("a", nil, 1)
+	it := db.NewIterator("x", "z")
+	if it.Next() {
+		t.Fatal("empty range yielded a key")
+	}
+	if it.Valid() {
+		t.Fatal("Valid true after exhausted scan")
+	}
+	if it.Err() != nil {
+		t.Fatalf("Err = %v", it.Err())
+	}
+}
+
+func TestIteratorChargesDiskTime(t *testing.T) {
+	db := testDB(t, func(c *Config) { c.StoreValues = false })
+	for i := 0; i < 3000; i++ {
+		db.Put(fmt.Sprintf("key-%06d", i), nil, 64)
+	}
+	db.Flush()
+	before := db.clock.Now()
+	it := db.NewIterator("", "")
+	n := 0
+	for it.Next() {
+		n++
+	}
+	if n != 3000 {
+		t.Fatalf("scanned %d keys", n)
+	}
+	if db.clock.Now() == before {
+		t.Fatal("full scan advanced no simulated time")
+	}
+}
+
+// Property: iterator output equals the model's sorted live keys for random
+// op sequences across flush boundaries.
+func TestIteratorMatchesModel(t *testing.T) {
+	if err := quick.Check(func(ops []uint16) bool {
+		db := testDB(t, func(c *Config) { c.MemtableBytes = 2 << 10 })
+		model := map[string]string{}
+		for n, op := range ops {
+			k := fmt.Sprintf("key-%02d", op%37)
+			switch op % 4 {
+			case 3:
+				db.Delete(k)
+				delete(model, k)
+			default:
+				v := fmt.Sprintf("v%d", n)
+				db.Put(k, []byte(v), 0)
+				model[k] = v
+			}
+		}
+		want := make([]string, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		it := db.NewIterator("", "")
+		i := 0
+		for it.Next() {
+			if i >= len(want) || it.Key() != want[i] || string(it.Value()) != model[want[i]] {
+				return false
+			}
+			i++
+		}
+		return i == len(want)
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,359 @@
+package lsm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"znscache/internal/hdd"
+	"znscache/internal/sim"
+)
+
+func testDB(t *testing.T, mutate ...func(*Config)) *DB {
+	t.Helper()
+	cfg := Config{
+		Disk:            hdd.New(hdd.Config{Capacity: 8 << 30}),
+		MemtableBytes:   64 << 10,
+		BaseLevelBytes:  256 << 10,
+		BlockCacheBytes: 64 << 10,
+		StoreValues:     true,
+	}
+	for _, m := range mutate {
+		m(&cfg)
+	}
+	db, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return db
+}
+
+func TestOpenRejectsNilDisk(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("Open with nil disk succeeded")
+	}
+}
+
+func TestPutGetMemtable(t *testing.T) {
+	db := testDB(t)
+	if err := db.Put("alpha", []byte("one"), 0); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	v, ok, err := db.Get("alpha")
+	if err != nil || !ok || string(v) != "one" {
+		t.Fatalf("Get = (%q, %v, %v)", v, ok, err)
+	}
+	if _, ok, _ := db.Get("missing"); ok {
+		t.Fatal("hit on missing key")
+	}
+}
+
+func TestOverwriteWins(t *testing.T) {
+	db := testDB(t)
+	db.Put("k", []byte("v1"), 0)
+	db.Put("k", []byte("v2"), 0)
+	v, ok, _ := db.Get("k")
+	if !ok || string(v) != "v2" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestDeleteTombstone(t *testing.T) {
+	db := testDB(t)
+	db.Put("k", []byte("v"), 0)
+	db.Delete("k")
+	if _, ok, _ := db.Get("k"); ok {
+		t.Fatal("deleted key still visible")
+	}
+	// Deletion survives a flush.
+	db.Put("other", []byte("x"), 0)
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := db.Get("k"); ok {
+		t.Fatal("deleted key visible after flush")
+	}
+}
+
+func TestGetAfterFlush(t *testing.T) {
+	db := testDB(t)
+	want := map[string]string{}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		v := fmt.Sprintf("val-%04d", i)
+		want[k] = v
+		db.Put(k, []byte(v), 0)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.TableCount(0) == 0 {
+		t.Fatal("flush produced no L0 table")
+	}
+	for k, v := range want {
+		got, ok, err := db.Get(k)
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("Get(%s) = (%q, %v, %v), want %q", k, got, ok, err, v)
+		}
+	}
+}
+
+func TestCompactionPreservesData(t *testing.T) {
+	// Insert enough to force flushes and L0→L1 compactions; every key's
+	// latest value must survive.
+	db := testDB(t)
+	val := bytes.Repeat([]byte{0x33}, 100)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%06d", i%2000) // overwrites force merge logic
+		if err := db.Put(k, val, 0); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	if db.Compactions.Load() == 0 {
+		t.Fatal("test vacuous: no compaction ran")
+	}
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		got, ok, err := db.Get(k)
+		if err != nil || !ok {
+			t.Fatalf("Get(%s) = (%v, %v) after compaction", k, ok, err)
+		}
+		if !bytes.Equal(got, val) {
+			t.Fatalf("Get(%s) returned corrupted value", k)
+		}
+	}
+	// L0 must be within trigger after compactions settle.
+	if db.TableCount(0) >= db.cfg.L0CompactionTrigger {
+		t.Fatalf("L0 has %d tables, compaction didn't settle", db.TableCount(0))
+	}
+}
+
+func TestLevelTablesSortedAndDisjoint(t *testing.T) {
+	db := testDB(t)
+	for i := 0; i < 8000; i++ {
+		db.Put(fmt.Sprintf("key-%06d", i*7%3000), nil, 100)
+	}
+	for lvl := 1; lvl < numLevels; lvl++ {
+		tables := db.levels[lvl]
+		for i := 1; i < len(tables); i++ {
+			if tables[i-1].largest >= tables[i].smallest {
+				t.Fatalf("level %d tables overlap: [%s,%s] then [%s,%s]", lvl,
+					tables[i-1].smallest, tables[i-1].largest,
+					tables[i].smallest, tables[i].largest)
+			}
+		}
+	}
+}
+
+func TestBloomFilterSkipsTables(t *testing.T) {
+	b := newBloom(1000)
+	for i := 0; i < 1000; i++ {
+		b.add(fmt.Sprintf("key-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mayContain(fmt.Sprintf("key-%d", i)) {
+			t.Fatal("bloom false negative")
+		}
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if b.mayContain(fmt.Sprintf("other-%d", i)) {
+			fp++
+		}
+	}
+	if fp > 500 { // 10 bits/key should be ~1%; allow 5%
+		t.Fatalf("bloom FP rate %d/10000 too high", fp)
+	}
+	if b.sizeBytes() == 0 {
+		t.Fatal("bloom reports zero size")
+	}
+}
+
+func TestBlockFindBoundaries(t *testing.T) {
+	tb := newTableBuilder(true)
+	for i := 0; i < 300; i++ {
+		tb.add(kv{key: fmt.Sprintf("key-%04d", i*2), val: []byte("v"), vlen: 1})
+	}
+	tab := tb.build(1, 0, 0)
+	if len(tab.blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(tab.blocks))
+	}
+	// Every inserted key is findable; absent keys are not.
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("key-%04d", i*2)
+		bi := tab.blockFor(k)
+		if bi < 0 || tab.blocks[bi].find(k) < 0 {
+			t.Fatalf("key %s not found via index", k)
+		}
+		absent := fmt.Sprintf("key-%04d", i*2+1)
+		bi = tab.blockFor(absent)
+		if bi >= 0 && tab.blocks[bi].find(absent) >= 0 {
+			t.Fatalf("absent key %s found", absent)
+		}
+	}
+}
+
+func TestDRAMCacheLRUAndSpill(t *testing.T) {
+	var spilled []string
+	spy := spySecondary{onInsert: func(k string) { spilled = append(spilled, k) }}
+	c := newDRAMCache(3*4096, &spy)
+	a, b, d := blockID{1, 0}, blockID{1, 1}, blockID{1, 2}
+	c.insert(a, 4096)
+	c.insert(b, 4096)
+	c.insert(d, 4096)
+	c.lookup(a)                   // refresh a
+	c.insert(blockID{1, 3}, 4096) // evicts b (LRU)
+	if len(spilled) != 1 || spilled[0] != b.cacheKey() {
+		t.Fatalf("spilled = %v, want [%s]", spilled, b.cacheKey())
+	}
+	if !c.lookup(a) {
+		t.Fatal("refreshed block evicted")
+	}
+}
+
+type spySecondary struct {
+	onInsert func(string)
+	hit      func(string) bool
+}
+
+func (s *spySecondary) Lookup(key string, _ int) bool {
+	if s.hit != nil {
+		return s.hit(key)
+	}
+	return false
+}
+func (s *spySecondary) Insert(key string, _ int) {
+	if s.onInsert != nil {
+		s.onInsert(key)
+	}
+}
+
+func TestSecondaryCacheServesDRAMMisses(t *testing.T) {
+	// A secondary cache that "remembers everything" must absorb reads that
+	// miss DRAM, eliminating disk reads after warmup.
+	seen := map[string]bool{}
+	spy := &spySecondary{
+		onInsert: func(k string) { seen[k] = true },
+		hit:      func(k string) bool { return seen[k] },
+	}
+	db := testDB(t, func(c *Config) {
+		c.Secondary = spy
+		c.BlockCacheBytes = 2 * 4096 // tiny DRAM cache: everything spills
+		c.StoreValues = false
+	})
+	const n = 3000
+	for i := 0; i < n; i++ {
+		db.Put(fmt.Sprintf("key-%06d", i), nil, 64)
+	}
+	db.Flush()
+	// Two passes: the first warms the hierarchy, the second must hit the
+	// secondary cache instead of the disk.
+	for pass := 0; pass < 2; pass++ {
+		db.DiskReads.Reset()
+		db.SecondaryHits.Reset()
+		db.SecondaryLookups.Reset()
+		for i := 0; i < n; i += 7 {
+			if _, ok, err := db.Get(fmt.Sprintf("key-%06d", i)); !ok || err != nil {
+				t.Fatalf("pass %d Get: (%v, %v)", pass, ok, err)
+			}
+		}
+		if pass == 1 && db.SecondaryHitRatio() < 0.9 {
+			t.Fatalf("second-pass secondary hit ratio %.2f, want ≥0.9", db.SecondaryHitRatio())
+		}
+	}
+	if db.DiskReads.Load() != 0 {
+		t.Fatalf("disk reads on warm pass: %d", db.DiskReads.Load())
+	}
+}
+
+func TestGetLatencyReflectsDiskMisses(t *testing.T) {
+	// Cold reads pay HDD seek latency (~12ms); warm DRAM reads are µs.
+	db := testDB(t, func(c *Config) {
+		c.BlockCacheBytes = 64 << 20 // everything fits after first touch
+		c.StoreValues = false
+		// Narrow sequential window so a block read after the table write
+		// counts as a genuine random access.
+		c.Disk = hdd.New(hdd.Config{Capacity: 8 << 30, TrackSkipBytes: 4096})
+	})
+	for i := 0; i < 2000; i++ {
+		db.Put(fmt.Sprintf("key-%06d", i), nil, 64)
+	}
+	db.Flush()
+	before := db.clock.Now()
+	db.Get("key-000100")
+	coldLat := db.clock.Now() - before
+	if coldLat < 5*time.Millisecond {
+		t.Fatalf("cold get %v, want HDD-class latency", coldLat)
+	}
+	before = db.clock.Now()
+	db.Get("key-000100")
+	warmLat := db.clock.Now() - before
+	if warmLat > time.Millisecond {
+		t.Fatalf("warm get %v, want DRAM-class latency", warmLat)
+	}
+}
+
+func TestWALChargesDeviceWrites(t *testing.T) {
+	disk := hdd.New(hdd.Config{Capacity: 8 << 30})
+	db, err := Open(Config{
+		Disk: disk, MemtableBytes: 1 << 30, WALBufferBytes: 8 << 10,
+		Clock: sim.NewClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		db.Put(fmt.Sprintf("key-%06d", i), nil, 64)
+	}
+	if disk.Writes.Load() == 0 {
+		t.Fatal("WAL never wrote to the device")
+	}
+}
+
+func TestPropertyLatestWriteWins(t *testing.T) {
+	// Property: for any op sequence of puts/deletes over a small key space,
+	// Get returns exactly the latest surviving write, across flushes and
+	// compactions.
+	if err := quick.Check(func(ops []uint16, flushMask uint8) bool {
+		db := testDB(t, func(c *Config) { c.MemtableBytes = 2 << 10 })
+		model := map[string]string{}
+		for n, op := range ops {
+			k := fmt.Sprintf("key-%d", op%31)
+			switch op % 5 {
+			case 4:
+				db.Delete(k)
+				delete(model, k)
+			default:
+				v := fmt.Sprintf("v%d", n)
+				db.Put(k, []byte(v), 0)
+				model[k] = v
+			}
+			if op%8 == uint16(flushMask%8) {
+				if err := db.Flush(); err != nil {
+					return false
+				}
+			}
+		}
+		for k, v := range model {
+			got, ok, err := db.Get(k)
+			if err != nil || !ok || string(got) != v {
+				return false
+			}
+		}
+		// Deleted/absent keys must be absent.
+		for i := 0; i < 31; i++ {
+			k := fmt.Sprintf("key-%d", i)
+			if _, inModel := model[k]; !inModel {
+				if _, ok, _ := db.Get(k); ok {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,196 @@
+package lsm
+
+import (
+	"sort"
+)
+
+// BlockSize is the SSTable data-block size, matching the 4 KiB block the
+// secondary cache stores and the paper's 4 KiB I/O unit.
+const BlockSize = 4096
+
+// kv is one key/value pair moving through flush and compaction.
+type kv struct {
+	key  string
+	val  []byte // nil when values are not retained
+	vlen int
+	tomb bool // deletion marker
+}
+
+// block is one data block: sorted entries in packed form. Key bytes are
+// always retained (lookups need them); value bytes only when the DB is
+// configured to store values.
+type block struct {
+	kbuf  []byte
+	koffs []uint32 // len n+1
+	vbuf  []byte
+	voffs []uint32 // len n+1 when values stored
+	vlens []uint32 // value lengths (always, for sizing)
+	tombs []bool
+}
+
+func (b *block) n() int { return len(b.koffs) - 1 }
+
+func (b *block) key(i int) string {
+	return string(b.kbuf[b.koffs[i]:b.koffs[i+1]])
+}
+
+// find returns the entry index of key, or -1.
+func (b *block) find(key string) int {
+	lo, hi := 0, b.n()
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if b.key(mid) < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < b.n() && b.key(lo) == key {
+		return lo
+	}
+	return -1
+}
+
+// val returns the value bytes (nil if not retained), its length, and the
+// tombstone flag.
+func (b *block) val(i int) ([]byte, int, bool) {
+	var v []byte
+	if b.vbuf != nil {
+		v = b.vbuf[b.voffs[i]:b.voffs[i+1]]
+	}
+	return v, int(b.vlens[i]), b.tombs[i]
+}
+
+// storedBytes approximates the on-disk size of the block: keys + values +
+// per-entry framing. Used to charge device I/O.
+func (b *block) storedBytes() int {
+	n := b.n()
+	sz := len(b.kbuf) + 8*n
+	for _, l := range b.vlens {
+		sz += int(l)
+	}
+	return sz
+}
+
+// Table is one immutable SSTable. Block payloads are kept in memory (they
+// are the simulation's ground truth); the disk offset locates the bytes on
+// the simulated HDD so reads charge realistic seek/transfer latency.
+type Table struct {
+	id       int64
+	level    int
+	smallest string
+	largest  string
+	blocks   []*block
+	firstKey []string // block index: first key of each block (pinned in RAM,
+	// mirroring the paper's "index block caching enabled")
+	filter  *bloom
+	diskOff int64 // where the table body starts on the backing disk
+	size    int64 // on-disk bytes
+}
+
+// Smallest returns the table's smallest key.
+func (t *Table) Smallest() string { return t.smallest }
+
+// Largest returns the table's largest key.
+func (t *Table) Largest() string { return t.largest }
+
+// Size returns the table's on-disk footprint.
+func (t *Table) Size() int64 { return t.size }
+
+// covers reports whether key falls in the table's range.
+func (t *Table) covers(key string) bool {
+	return key >= t.smallest && key <= t.largest
+}
+
+// blockFor returns the index of the block that may contain key.
+func (t *Table) blockFor(key string) int {
+	// Last block whose firstKey <= key.
+	i := sort.SearchStrings(t.firstKey, key)
+	if i < len(t.firstKey) && t.firstKey[i] == key {
+		return i
+	}
+	return i - 1
+}
+
+// tableBuilder accumulates sorted entries into blocks.
+type tableBuilder struct {
+	storeVals bool
+	blocks    []*block
+	cur       *block
+	curBytes  int
+	firstKeys []string
+	keys      []string // all keys, for the bloom filter
+	smallest  string
+	largest   string
+	size      int64
+}
+
+func newTableBuilder(storeVals bool) *tableBuilder {
+	return &tableBuilder{storeVals: storeVals}
+}
+
+func (tb *tableBuilder) startBlock() {
+	tb.cur = &block{koffs: []uint32{0}}
+	if tb.storeVals {
+		tb.cur.voffs = []uint32{0}
+	}
+	tb.curBytes = 0
+}
+
+// add appends an entry; entries must arrive in sorted key order.
+func (tb *tableBuilder) add(e kv) {
+	entryBytes := len(e.key) + e.vlen + 8
+	if tb.cur == nil || tb.curBytes+entryBytes > BlockSize {
+		tb.finishBlock()
+		tb.startBlock()
+		tb.firstKeys = append(tb.firstKeys, e.key)
+	}
+	b := tb.cur
+	b.kbuf = append(b.kbuf, e.key...)
+	b.koffs = append(b.koffs, uint32(len(b.kbuf)))
+	if tb.storeVals {
+		b.vbuf = append(b.vbuf, e.val...)
+		b.voffs = append(b.voffs, uint32(len(b.vbuf)))
+	}
+	b.vlens = append(b.vlens, uint32(e.vlen))
+	b.tombs = append(b.tombs, e.tomb)
+	tb.curBytes += entryBytes
+	tb.size += int64(entryBytes)
+	tb.keys = append(tb.keys, e.key)
+	if tb.smallest == "" || e.key < tb.smallest {
+		tb.smallest = e.key
+	}
+	if e.key > tb.largest {
+		tb.largest = e.key
+	}
+}
+
+func (tb *tableBuilder) finishBlock() {
+	if tb.cur != nil && tb.cur.n() > 0 {
+		tb.blocks = append(tb.blocks, tb.cur)
+	}
+	tb.cur = nil
+}
+
+// empty reports whether nothing was added.
+func (tb *tableBuilder) empty() bool { return len(tb.keys) == 0 }
+
+// build finalizes the table (id and disk offset assigned by the caller).
+func (tb *tableBuilder) build(id int64, level int, diskOff int64) *Table {
+	tb.finishBlock()
+	f := newBloom(len(tb.keys))
+	for _, k := range tb.keys {
+		f.add(k)
+	}
+	return &Table{
+		id:       id,
+		level:    level,
+		smallest: tb.smallest,
+		largest:  tb.largest,
+		blocks:   tb.blocks,
+		firstKey: tb.firstKeys,
+		filter:   f,
+		diskOff:  diskOff,
+		size:     tb.size,
+	}
+}

@@ -1,0 +1,470 @@
+// Package middle implements the paper's Region-Cache middle layer (§3.3,
+// Figure 1c): a thin translation layer between CacheLib's region interface
+// and the ZNS zone interface.
+//
+// Data management. Regions (e.g. 16 MiB) are packed into zones; the mapping
+// region ID → (zone, slot) lives in an ordered map, and each zone carries a
+// bitmap of valid region slots ("for a zone with 1024 MiB and 16 MiB
+// regions, the bitmap will only cost 64 bits"). Rewriting a region deletes
+// its old mapping and clears the old bitmap bit. Multiple zones are written
+// concurrently — round-robin across OpenZones — because per-zone write
+// bandwidth is below the device aggregate. A zone is finished when it has
+// no space for another region.
+//
+// Garbage collection. A reclaim pass watches the empty-zone count; when it
+// drops below MinEmptyZones (paper: 8), it selects a finished zone whose
+// valid ratio is at or below VictimValidRatio (paper: 20%) — or failing
+// that, the emptiest finished zone — migrates its live regions to open
+// zones, and resets it. Migrated bytes are the layer's write amplification
+// (Table 1's Region-Cache row). GC device traffic is issued "in the
+// background": it occupies the device (delaying later host I/O through
+// queueing) but is not charged to the host operation that triggered it.
+//
+// Co-design (§3.4). With a DropFilter installed, GC consults the cache
+// before migrating each live region: a region the cache considers cold is
+// dropped instead of copied ("not all the valid regions are needed to be
+// migrated"), trading a slightly lower hit ratio for lower WA.
+package middle
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"sync"
+	"time"
+
+	"znscache/internal/cache"
+	"znscache/internal/device"
+	"znscache/internal/sim"
+	"znscache/internal/stats"
+	"znscache/internal/zns"
+)
+
+// Errors returned by the middle layer.
+var (
+	ErrBadConfig = errors.New("middle: invalid configuration")
+	ErrRegion    = errors.New("middle: region index out of range")
+	ErrBounds    = errors.New("middle: access beyond region")
+	ErrNotMapped = errors.New("middle: region not mapped")
+	ErrNoSpace   = errors.New("middle: no writable zone available")
+)
+
+// Config parameterizes the layer.
+type Config struct {
+	// RegionSize is the region granularity (paper default 16 MiB).
+	RegionSize int64
+	// NumRegions is the cache capacity in regions. The gap between
+	// NumRegions×RegionSize and the device capacity is the layer's
+	// over-provisioning (Figure 4 sweeps it).
+	NumRegions int
+	// OpenZones is how many zones accept region writes concurrently
+	// (default 4) — the multi-zone writing of §3.3.
+	OpenZones int
+	// MinEmptyZones triggers GC when the empty-zone pool drops below it
+	// (paper: 8; default 4).
+	MinEmptyZones int
+	// VictimValidRatio is the preferred victim threshold: zones whose
+	// valid-region ratio is at or below it are collected first (paper: 20%).
+	VictimValidRatio float64
+	// DropFilter, when non-nil, is the co-design hook: during GC it is
+	// asked per live region whether the region may be dropped rather than
+	// migrated. Dropped region IDs are reported through OnDrop.
+	DropFilter func(regionID int) bool
+	// OnDrop is invoked for every region GC dropped via DropFilter.
+	OnDrop func(regionID int)
+	// PlacementSeed seeds the open-zone selection noise (deterministic).
+	PlacementSeed uint64
+}
+
+func (c *Config) fillDefaults() {
+	if c.OpenZones == 0 {
+		c.OpenZones = 4
+	}
+	if c.MinEmptyZones == 0 {
+		c.MinEmptyZones = 4
+	}
+	if c.VictimValidRatio == 0 {
+		c.VictimValidRatio = 0.20
+	}
+}
+
+// mapping locates a region on the device.
+type mapping struct {
+	zone int
+	slot int
+}
+
+// zoneMeta is the per-zone middle-layer state.
+type zoneMeta struct {
+	bitmap  uint64 // valid slots; regionsPerZone ≤ 64 enforced at build
+	written int    // slots written so far (zone wp in region units)
+	regions []int  // slot -> region ID (-1 when slot invalid)
+}
+
+// Layer is the middle layer; it implements cache.RegionStore.
+type Layer struct {
+	dev            *zns.Device
+	cfg            Config
+	regionsPerZone int
+
+	mu       sync.Mutex
+	mapTable map[int]mapping // region ID -> location
+	zones    []zoneMeta
+	empty    []int // zones with nothing written
+	openSet  []int // zones currently accepting region writes
+	rng      *sim.Rand
+	full     map[int]struct{}
+	scratch  []byte
+
+	// Observability.
+	WA       stats.WriteAmp // region bytes written by host vs device (incl. GC)
+	GCRuns   stats.Counter
+	Migrated stats.Counter // regions migrated by GC
+	Dropped  stats.Counter // regions dropped by the co-design filter
+	Resets   stats.Counter
+}
+
+// New builds the layer over a ZNS device.
+func New(dev *zns.Device, cfg Config) (*Layer, error) {
+	cfg.fillDefaults()
+	if cfg.RegionSize <= 0 || cfg.RegionSize%device.SectorSize != 0 {
+		return nil, fmt.Errorf("%w: region size %d", ErrBadConfig, cfg.RegionSize)
+	}
+	if dev.ZoneSize()%cfg.RegionSize != 0 {
+		return nil, fmt.Errorf("%w: zone size %d not a multiple of region size %d",
+			ErrBadConfig, dev.ZoneSize(), cfg.RegionSize)
+	}
+	rpz := int(dev.ZoneSize() / cfg.RegionSize)
+	if rpz > 64 {
+		return nil, fmt.Errorf("%w: %d regions per zone exceeds bitmap width 64", ErrBadConfig, rpz)
+	}
+	if cfg.OpenZones > dev.MaxOpenZones() {
+		return nil, fmt.Errorf("%w: OpenZones %d exceeds device cap %d",
+			ErrBadConfig, cfg.OpenZones, dev.MaxOpenZones())
+	}
+	capRegions := dev.NumZones() * rpz
+	if cfg.NumRegions == 0 {
+		// Leave the GC watermark plus open zones as OP by default.
+		cfg.NumRegions = capRegions - (cfg.MinEmptyZones+cfg.OpenZones)*rpz
+	}
+	// The layer needs headroom beyond the live regions: the open zones
+	// accepting writes plus at least one zone of GC working space.
+	minSlack := (cfg.OpenZones + 1) * rpz
+	if cfg.NumRegions <= 0 || cfg.NumRegions > capRegions-minSlack {
+		return nil, fmt.Errorf("%w: NumRegions %d must be in (0, %d] for %d-zone device",
+			ErrBadConfig, cfg.NumRegions, capRegions-minSlack, dev.NumZones())
+	}
+	l := &Layer{
+		dev:            dev,
+		cfg:            cfg,
+		regionsPerZone: rpz,
+		mapTable:       make(map[int]mapping),
+		zones:          make([]zoneMeta, dev.NumZones()),
+		full:           make(map[int]struct{}),
+		rng:            sim.NewRand(cfg.PlacementSeed),
+	}
+	for z := range l.zones {
+		l.zones[z].regions = make([]int, rpz)
+		for s := range l.zones[z].regions {
+			l.zones[z].regions[s] = -1
+		}
+	}
+	for z := dev.NumZones() - 1; z >= 0; z-- {
+		l.empty = append(l.empty, z)
+	}
+	return l, nil
+}
+
+// NumRegions implements cache.RegionStore.
+func (l *Layer) NumRegions() int { return l.cfg.NumRegions }
+
+// RegionSize implements cache.RegionStore.
+func (l *Layer) RegionSize() int64 { return l.cfg.RegionSize }
+
+// Device exposes the ZNS device for stats.
+func (l *Layer) Device() *zns.Device { return l.dev }
+
+// EmptyZones reports the reclaimable-pool size (tests, zonectl).
+func (l *Layer) EmptyZones() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.empty)
+}
+
+// MappedRegions reports how many regions currently have a location.
+func (l *Layer) MappedRegions() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.mapTable)
+}
+
+// takeEmptyLocked pops an empty zone; returns -1 when none remain.
+func (l *Layer) takeEmptyLocked() int {
+	if len(l.empty) == 0 {
+		return -1
+	}
+	z := l.empty[len(l.empty)-1]
+	l.empty = l.empty[:len(l.empty)-1]
+	return z
+}
+
+// writableZoneLocked returns an open zone with at least one free slot,
+// opening a new zone from the empty pool as needed. Zones that fill are
+// moved to the full set.
+//
+// The zone is chosen pseudo-randomly among the open set, not round-robin:
+// with several flusher threads racing for zones (the concurrent multi-zone
+// writing of §3.3), consecutive regions interleave irregularly across open
+// zones. That placement noise is what leaves a few live regions behind in
+// otherwise-dead zones and makes GC cost sensitive to the OP ratio
+// (Table 1) — a perfectly round-robin placement would let region deaths
+// drain zones in lockstep and hide that effect.
+func (l *Layer) writableZoneLocked() (int, error) {
+	for len(l.openSet) > 0 {
+		idx := l.rng.Intn(len(l.openSet))
+		z := l.openSet[idx]
+		if l.zones[z].written < l.regionsPerZone {
+			return z, nil
+		}
+		// Zone exhausted: finish it (release the device open slot) and
+		// track it as a GC candidate.
+		if _, err := l.dev.Finish(0, z); err != nil {
+			return -1, err
+		}
+		l.full[z] = struct{}{}
+		l.openSet = append(l.openSet[:idx], l.openSet[idx+1:]...)
+	}
+	// Refill the open set.
+	for len(l.openSet) < l.cfg.OpenZones {
+		z := l.takeEmptyLocked()
+		if z == -1 {
+			break
+		}
+		l.openSet = append(l.openSet, z)
+	}
+	if len(l.openSet) == 0 {
+		return -1, ErrNoSpace
+	}
+	return l.openSet[l.rng.Intn(len(l.openSet))], nil
+}
+
+// placeRegionLocked appends data as region id into a writable zone at time
+// now, updating mapping and bitmap. Returns the device completion latency.
+func (l *Layer) placeRegionLocked(now time.Duration, id int, data []byte) (time.Duration, error) {
+	z, err := l.writableZoneLocked()
+	if err != nil {
+		return 0, err
+	}
+	zm := &l.zones[z]
+	slot := zm.written
+	off := int64(z)*l.dev.ZoneSize() + int64(slot)*l.cfg.RegionSize
+	lat, err := l.dev.Write(now, data, int(l.cfg.RegionSize), off)
+	if err != nil {
+		return 0, fmt.Errorf("middle: zone write: %w", err)
+	}
+	zm.written++
+	zm.bitmap |= 1 << uint(slot)
+	zm.regions[slot] = id
+	l.mapTable[id] = mapping{zone: z, slot: slot}
+	if zm.written == l.regionsPerZone {
+		// Filled exactly: it transitioned to full on the device already.
+		l.full[z] = struct{}{}
+		for i, o := range l.openSet {
+			if o == z {
+				l.openSet = append(l.openSet[:i], l.openSet[i+1:]...)
+				break
+			}
+		}
+	}
+	return lat, nil
+}
+
+// invalidateLocked clears region id's mapping and bitmap bit if present.
+func (l *Layer) invalidateLocked(id int) {
+	m, ok := l.mapTable[id]
+	if !ok {
+		return
+	}
+	delete(l.mapTable, id)
+	zm := &l.zones[m.zone]
+	zm.bitmap &^= 1 << uint(m.slot)
+	zm.regions[m.slot] = -1
+}
+
+// WriteRegion implements cache.RegionStore: invalidate any previous copy of
+// the region, append the new copy to an open zone, then let the background
+// collector catch up if the empty pool is low.
+func (l *Layer) WriteRegion(now time.Duration, id int, data []byte) (time.Duration, error) {
+	if id < 0 || id >= l.cfg.NumRegions {
+		return 0, fmt.Errorf("%w: %d", ErrRegion, id)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.invalidateLocked(id)
+	lat, err := l.placeRegionLocked(now, id, data)
+	if err != nil {
+		return 0, err
+	}
+	l.WA.AddHost(uint64(l.cfg.RegionSize))
+	l.WA.AddMedia(uint64(l.cfg.RegionSize))
+	// Background GC: issued at `now`, not charged to this host write.
+	if err := l.collectLocked(now); err != nil {
+		return 0, err
+	}
+	return lat, nil
+}
+
+// ReadRegion implements cache.RegionStore: mapping lookup, then one device
+// read at zone base + slot offset + in-region offset.
+func (l *Layer) ReadRegion(now time.Duration, id int, p []byte, n int, off int64) (time.Duration, error) {
+	if id < 0 || id >= l.cfg.NumRegions {
+		return 0, fmt.Errorf("%w: %d", ErrRegion, id)
+	}
+	if off < 0 || n < 0 || off+int64(n) > l.cfg.RegionSize {
+		return 0, fmt.Errorf("%w: [%d,+%d)", ErrBounds, off, n)
+	}
+	l.mu.Lock()
+	m, ok := l.mapTable[id]
+	if !ok {
+		l.mu.Unlock()
+		return 0, fmt.Errorf("%w: %d", ErrNotMapped, id)
+	}
+	if p == nil {
+		if cap(l.scratch) < n {
+			l.scratch = make([]byte, n)
+		}
+		p = l.scratch[:n]
+	}
+	devOff := int64(m.zone)*l.dev.ZoneSize() + int64(m.slot)*l.cfg.RegionSize + off
+	lat, err := l.dev.Read(now, p[:n], devOff)
+	l.mu.Unlock()
+	if err != nil {
+		return 0, fmt.Errorf("middle: zone read: %w", err)
+	}
+	return lat, nil
+}
+
+// EvictRegion implements cache.RegionStore: purely a metadata operation —
+// clear the mapping and bitmap bit. The space comes back when GC (or a
+// whole-zone invalidation) reclaims the zone.
+func (l *Layer) EvictRegion(now time.Duration, id int) (time.Duration, error) {
+	if id < 0 || id >= l.cfg.NumRegions {
+		return 0, fmt.Errorf("%w: %d", ErrRegion, id)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.invalidateLocked(id)
+	return 0, nil
+}
+
+// collectLocked reclaims zones until the empty pool reaches the watermark.
+// Wholly-dead zones are reset immediately (free reclaim); otherwise the
+// victim with the lowest valid ratio is drained.
+func (l *Layer) collectLocked(now time.Duration) error {
+	for len(l.empty) < l.cfg.MinEmptyZones {
+		victim, ok := l.pickVictimLocked()
+		if !ok {
+			return nil // nothing collectable yet
+		}
+		l.GCRuns.Inc()
+		if err := l.reclaimZoneLocked(now, victim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickVictimLocked chooses among finished zones: any zone at or below the
+// valid-ratio threshold, else the emptiest one.
+func (l *Layer) pickVictimLocked() (int, bool) {
+	best, bestValid := -1, l.regionsPerZone+1
+	for z := range l.full {
+		v := bits.OnesCount64(l.zones[z].bitmap)
+		if v < bestValid {
+			best, bestValid = z, v
+		}
+	}
+	if best == -1 {
+		return -1, false
+	}
+	// The threshold is a preference, not a hard gate: when space runs out
+	// the emptiest zone is taken regardless, like the paper's configurable
+	// zone selection.
+	if float64(bestValid) <= l.cfg.VictimValidRatio*float64(l.regionsPerZone) {
+		return best, true
+	}
+	if len(l.empty) <= 1 {
+		return best, true // emergency: collect even expensive zones
+	}
+	return best, bestValid == 0
+}
+
+// reclaimZoneLocked migrates (or co-design-drops) the victim's live regions
+// and resets it.
+func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
+	delete(l.full, victim)
+	zm := &l.zones[victim]
+	cur := now
+	for slot := 0; slot < l.regionsPerZone; slot++ {
+		if zm.bitmap&(1<<uint(slot)) == 0 {
+			continue
+		}
+		id := zm.regions[slot]
+		// Co-design: ask the cache whether this region is worth keeping.
+		if l.cfg.DropFilter != nil && l.cfg.DropFilter(id) {
+			l.invalidateLocked(id)
+			l.Dropped.Inc()
+			if l.cfg.OnDrop != nil {
+				l.OnDropAsync(id)
+			}
+			continue
+		}
+		// Migrate: read the region and append it elsewhere.
+		n := int(l.cfg.RegionSize)
+		if cap(l.scratch) < n {
+			l.scratch = make([]byte, n)
+		}
+		buf := l.scratch[:n]
+		src := int64(victim)*l.dev.ZoneSize() + int64(slot)*l.cfg.RegionSize
+		rlat, err := l.dev.Read(cur, buf, src)
+		if err != nil {
+			return fmt.Errorf("middle: GC read: %w", err)
+		}
+		l.invalidateLocked(id)
+		wlat, err := l.placeRegionLocked(cur+rlat, id, buf)
+		if err != nil {
+			return fmt.Errorf("middle: GC write: %w", err)
+		}
+		cur += rlat + wlat
+		l.WA.AddMedia(uint64(l.cfg.RegionSize))
+		l.Migrated.Inc()
+	}
+	if _, err := l.dev.Reset(cur, victim); err != nil {
+		return fmt.Errorf("middle: GC reset: %w", err)
+	}
+	l.Resets.Inc()
+	zm.bitmap = 0
+	zm.written = 0
+	for s := range zm.regions {
+		zm.regions[s] = -1
+	}
+	l.empty = append(l.empty, victim)
+	return nil
+}
+
+// OnDropAsync invokes the drop callback outside the critical path contract;
+// the current implementation calls it synchronously (single-threaded sim).
+func (l *Layer) OnDropAsync(id int) {
+	if l.cfg.OnDrop != nil {
+		l.cfg.OnDrop(id)
+	}
+}
+
+// ZoneValidRatio reports the live fraction of a zone (tests, zonectl).
+func (l *Layer) ZoneValidRatio(z int) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return float64(bits.OnesCount64(l.zones[z].bitmap)) / float64(l.regionsPerZone)
+}
+
+var _ cache.RegionStore = (*Layer)(nil)

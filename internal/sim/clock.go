@@ -1,0 +1,89 @@
+// Package sim provides the deterministic simulation substrate shared by all
+// device models: a virtual clock measured in nanoseconds and a seedable
+// pseudo-random number generator.
+//
+// The paper's evaluation runs on real hardware and reports wall-clock
+// throughput and latency. This reproduction replaces wall-clock time with a
+// virtual clock that device models advance explicitly, which makes every
+// experiment deterministic and independent of the host machine.
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock is a virtual clock. Time only moves when a device model (or the
+// harness) advances it. Clock is safe for concurrent use.
+type Clock struct {
+	mu  sync.Mutex
+	now time.Duration
+}
+
+// NewClock returns a clock positioned at time zero.
+func NewClock() *Clock { return &Clock{} }
+
+// Now returns the current virtual time since the start of the simulation.
+func (c *Clock) Now() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d and returns the new time.
+// Advancing by a negative duration panics: simulated time is monotonic.
+func (c *Clock) Advance(d time.Duration) time.Duration {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative clock advance %v", d))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now += d
+	return c.now
+}
+
+// AdvanceTo moves the clock to t if t is later than the current time and
+// returns the (possibly unchanged) current time. It models waiting for a
+// busy resource: callers that must wait until a device is idle advance to
+// the device's free time.
+func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Busy tracks the time at which a serially-shared resource (a flash channel,
+// a disk arm) becomes free. It is the building block for modelling queueing
+// delay without running an event loop: an operation that needs the resource
+// at time t for duration d experiences waiting time max(0, free-t) and the
+// resource's free time becomes start+d.
+type Busy struct {
+	mu   sync.Mutex
+	free time.Duration
+}
+
+// Acquire reserves the resource at time now for duration d. It returns the
+// total latency observed by the caller (queueing delay plus service time)
+// and the completion time.
+func (b *Busy) Acquire(now, d time.Duration) (latency, done time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	start := now
+	if b.free > start {
+		start = b.free
+	}
+	done = start + d
+	b.free = done
+	return done - now, done
+}
+
+// FreeAt returns the time at which the resource becomes idle.
+func (b *Busy) FreeAt() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.free
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	c := NewClock()
+	if got := c.Now(); got != 0 {
+		t.Fatalf("new clock Now() = %v, want 0", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if got := c.Advance(5 * time.Millisecond); got != 5*time.Millisecond {
+		t.Fatalf("Advance returned %v, want 5ms", got)
+	}
+	c.Advance(time.Microsecond)
+	if got := c.Now(); got != 5*time.Millisecond+time.Microsecond {
+		t.Fatalf("Now() = %v, want 5.001ms", got)
+	}
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewClock().Advance(-1)
+}
+
+func TestClockAdvanceTo(t *testing.T) {
+	c := NewClock()
+	c.Advance(10)
+	if got := c.AdvanceTo(5); got != 10 {
+		t.Fatalf("AdvanceTo(5) on clock at 10 = %v, want 10 (monotonic)", got)
+	}
+	if got := c.AdvanceTo(20); got != 20 {
+		t.Fatalf("AdvanceTo(20) = %v, want 20", got)
+	}
+}
+
+func TestClockConcurrentAdvance(t *testing.T) {
+	c := NewClock()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				c.Advance(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Now(); got != workers*per {
+		t.Fatalf("concurrent advance total = %v, want %d", got, workers*per)
+	}
+}
+
+func TestBusyIdleResource(t *testing.T) {
+	var b Busy
+	lat, done := b.Acquire(100, 10)
+	if lat != 10 || done != 110 {
+		t.Fatalf("idle Acquire = (%v, %v), want (10, 110)", lat, done)
+	}
+}
+
+func TestBusyQueueingDelay(t *testing.T) {
+	var b Busy
+	b.Acquire(0, 100) // resource busy until 100
+	lat, done := b.Acquire(30, 10)
+	if lat != 80 || done != 110 {
+		t.Fatalf("queued Acquire = (%v, %v), want (80, 110)", lat, done)
+	}
+	if b.FreeAt() != 110 {
+		t.Fatalf("FreeAt = %v, want 110", b.FreeAt())
+	}
+}
+
+func TestBusyAfterIdlePeriod(t *testing.T) {
+	var b Busy
+	b.Acquire(0, 10)
+	// Arriving long after the resource went idle: no queueing delay.
+	lat, done := b.Acquire(1000, 7)
+	if lat != 7 || done != 1007 {
+		t.Fatalf("Acquire after idle = (%v, %v), want (7, 1007)", lat, done)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-seed streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRandZeroSeedUsable(t *testing.T) {
+	r := NewRand(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero-seeded generator stuck at zero")
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestRandIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandPermIsPermutation(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		p := NewRand(seed).Perm(20)
+		seen := make([]bool, 20)
+		for _, v := range p {
+			if v < 0 || v >= 20 || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandBytesDeterministicAndFull(t *testing.T) {
+	a := make([]byte, 37)
+	b := make([]byte, 37)
+	NewRand(9).Bytes(a)
+	NewRand(9).Bytes(b)
+	if string(a) != string(b) {
+		t.Fatal("Bytes not deterministic for same seed")
+	}
+	zero := 0
+	for _, v := range a {
+		if v == 0 {
+			zero++
+		}
+	}
+	if zero == len(a) {
+		t.Fatal("Bytes produced all zeros")
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	// Coarse sanity check: buckets of Intn(10) within 20% of expectation.
+	r := NewRand(7)
+	const n = 100000
+	var buckets [10]int
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, c := range buckets {
+		if c < n/10*8/10 || c > n/10*12/10 {
+			t.Fatalf("bucket %d has %d hits, expected ~%d", i, c, n/10)
+		}
+	}
+}

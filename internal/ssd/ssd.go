@@ -1,0 +1,451 @@
+// Package ssd simulates a regular (block-interface) SSD: a page-mapped FTL
+// over a NAND array, with over-provisioning, greedy garbage collection, and
+// device-level write-amplification accounting.
+//
+// This is the paper's baseline device (Block-Cache runs on it). Two of its
+// modelled behaviours carry the paper's Figures 2 and 5:
+//
+//   - Write amplification: random small overwrites at high utilization force
+//     the FTL to migrate live pages before erasing blocks, so media writes
+//     exceed host writes (WAF > 1), burning lifespan and bandwidth.
+//   - Uncontrollable GC: collection runs inside the device, in the
+//     foreground of whichever host write trips the free-block watermark.
+//     That write absorbs the whole migrate+erase cost — the high P99 the
+//     paper measures for Block-Cache (Figure 5d).
+package ssd
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"znscache/internal/device"
+	"znscache/internal/flash"
+	"znscache/internal/stats"
+)
+
+// Config parameterizes the simulated SSD.
+type Config struct {
+	Geometry flash.Geometry
+	Timing   flash.Timing
+	// OPRatio is the fraction of raw capacity hidden from the host for GC
+	// headroom. Regular SSDs ship with 7–28% (paper §2.2); 0.07 default.
+	OPRatio float64
+	// GCLowBlocks triggers collection when free blocks fall below it;
+	// GCHighBlocks is the refill target. Zero values pick defaults sized
+	// from the geometry (dies+2 and +4).
+	GCLowBlocks  int
+	GCHighBlocks int
+	// StoreData retains page payloads for read-back (tests, examples).
+	StoreData bool
+}
+
+func (c *Config) fillDefaults() {
+	if c.OPRatio == 0 {
+		c.OPRatio = 0.07
+	}
+	if c.GCLowBlocks == 0 {
+		c.GCLowBlocks = c.Geometry.Dies()/2 + 2
+		if max := c.Geometry.Blocks()/16 + 2; c.GCLowBlocks > max {
+			c.GCLowBlocks = max
+		}
+	}
+	if c.GCHighBlocks == 0 {
+		c.GCHighBlocks = c.GCLowBlocks + 4
+	}
+}
+
+// Errors specific to the SSD model.
+var (
+	ErrBadConfig = errors.New("ssd: invalid configuration")
+	ErrReadHole  = errors.New("ssd: read of unwritten sector")
+)
+
+const unmapped = int64(-1)
+
+// SSD is a simulated regular SSD. It is safe for concurrent use; internally
+// a single lock serializes FTL state, which also models the serialization
+// cost of the device's internal mapping structures.
+type SSD struct {
+	cfg   Config
+	array *flash.Array
+
+	mu       sync.Mutex
+	l2p      []int64 // logical page -> physical page (block*ppb+page)
+	p2l      []int64 // physical page -> logical page
+	openBlks []int   // one open block per die for host/GC writes
+	openNext int     // round-robin cursor over openBlks
+	freeBlks []int
+	// reserveBlks is a dedicated pool only GC migrations may draw from; it
+	// guarantees collection can always complete one victim even when the
+	// general free pool is exhausted (the classic FTL GC reserve).
+	reserveBlks   []int
+	reserveTarget int
+	inGC          bool
+	fullBlks      map[int]struct{}
+	exported      int64 // host-visible bytes
+
+	// Observability.
+	WA       stats.WriteAmp
+	GCRuns   stats.Counter
+	GCStalls *stats.Histogram // latency absorbed by host writes due to GC
+
+	lastWriteStall time.Duration // GC stall charged to the latest WriteAt
+}
+
+// New builds the SSD and formats it empty.
+func New(cfg Config) (*SSD, error) {
+	cfg.fillDefaults()
+	if cfg.Geometry.PageSize != device.SectorSize {
+		return nil, fmt.Errorf("%w: flash page size %d must equal sector size %d",
+			ErrBadConfig, cfg.Geometry.PageSize, device.SectorSize)
+	}
+	if cfg.OPRatio < 0 || cfg.OPRatio >= 1 {
+		return nil, fmt.Errorf("%w: OP ratio %v", ErrBadConfig, cfg.OPRatio)
+	}
+	arr, err := flash.NewArray(cfg.Geometry, cfg.Timing, cfg.StoreData)
+	if err != nil {
+		return nil, err
+	}
+	geo := cfg.Geometry
+	totalPages := geo.Pages()
+	exportedPages := int64(float64(totalPages) * (1 - cfg.OPRatio))
+	// The FTL needs working blocks beyond the exported space: the open
+	// blocks, the GC reserve, and the GC watermark. Refuse geometries with
+	// no headroom.
+	// Open blocks stripe host writes across dies, but small devices cannot
+	// afford one per die without eating their own OP.
+	openBlocks := geo.Dies()
+	if max := geo.Blocks() / 16; openBlocks > max {
+		openBlocks = max
+	}
+	if openBlocks < 1 {
+		openBlocks = 1
+	}
+	reserveTarget := openBlocks + 2
+	minSlack := int64(openBlocks+reserveTarget+cfg.GCHighBlocks) * int64(geo.PagesPerBlock)
+	if int64(totalPages)-exportedPages < minSlack {
+		exportedPages = int64(totalPages) - minSlack
+	}
+	if exportedPages <= 0 {
+		return nil, fmt.Errorf("%w: geometry too small for OP + GC reserve", ErrBadConfig)
+	}
+
+	s := &SSD{
+		cfg:      cfg,
+		array:    arr,
+		l2p:      make([]int64, exportedPages),
+		p2l:      make([]int64, totalPages),
+		fullBlks: make(map[int]struct{}),
+		exported: exportedPages * int64(geo.PageSize),
+		GCStalls: stats.NewHistogram(),
+	}
+	for i := range s.l2p {
+		s.l2p[i] = unmapped
+	}
+	for i := range s.p2l {
+		s.p2l[i] = unmapped
+	}
+	for b := geo.Blocks() - 1; b >= 0; b-- {
+		s.freeBlks = append(s.freeBlks, b)
+	}
+	s.reserveTarget = reserveTarget
+	// Open blocks for host/GC writes; consecutive blocks interleave across
+	// dies, so openBlocks-wide striping spreads over distinct dies.
+	for d := 0; d < openBlocks; d++ {
+		s.openBlks = append(s.openBlks, s.takeFreeLocked())
+	}
+	for r := 0; r < reserveTarget; r++ {
+		s.reserveBlks = append(s.reserveBlks, s.takeFreeLocked())
+	}
+	return s, nil
+}
+
+// Size returns host-visible capacity.
+func (s *SSD) Size() int64 { return s.exported }
+
+// Array exposes the underlying NAND for wear inspection by the harness.
+func (s *SSD) Array() *flash.Array { return s.array }
+
+// takeFreeLocked pops a free block; caller holds mu and has ensured supply.
+func (s *SSD) takeFreeLocked() int {
+	n := len(s.freeBlks)
+	b := s.freeBlks[n-1]
+	s.freeBlks = s.freeBlks[:n-1]
+	return b
+}
+
+// allocPageLocked returns the physical page to program next, rotating over
+// the per-die open blocks. Caller holds mu and has ensured free supply.
+func (s *SSD) allocPageLocked() flash.Addr {
+	for {
+		blk := s.openBlks[s.openNext]
+		front := s.array.WriteFront(blk)
+		if front < s.cfg.Geometry.PagesPerBlock {
+			s.openNext = (s.openNext + 1) % len(s.openBlks)
+			return flash.Addr{Block: blk, Page: front}
+		}
+		// Block filled: retire it and open a fresh one in its slot. GC
+		// migrations may dip into the reserve; host writes never do (the
+		// watermark check keeps the general pool stocked for them).
+		s.fullBlks[blk] = struct{}{}
+		var next int
+		switch {
+		case len(s.freeBlks) > 0:
+			next = s.takeFreeLocked()
+		case s.inGC && len(s.reserveBlks) > 0:
+			next = s.reserveBlks[len(s.reserveBlks)-1]
+			s.reserveBlks = s.reserveBlks[:len(s.reserveBlks)-1]
+		default:
+			panic("ssd: free and reserve pools exhausted — OP sizing violated")
+		}
+		s.openBlks[s.openNext] = next
+	}
+}
+
+func (s *SSD) ppn(a flash.Addr) int64 {
+	return int64(a.Block)*int64(s.cfg.Geometry.PagesPerBlock) + int64(a.Page)
+}
+
+func (s *SSD) addrOf(ppn int64) flash.Addr {
+	ppb := int64(s.cfg.Geometry.PagesPerBlock)
+	return flash.Addr{Block: int(ppn / ppb), Page: int(ppn % ppb)}
+}
+
+// WriteAt implements device.BlockDevice. Each sector is written
+// out-of-place: the old physical page (if any) is invalidated and a fresh
+// page programmed. If the free-block pool is below the watermark, garbage
+// collection runs first and its full latency is charged to this write.
+func (s *SSD) WriteAt(now time.Duration, data []byte, n int, off int64) (time.Duration, error) {
+	if err := device.CheckRange(off, n, s.exported); err != nil {
+		return 0, err
+	}
+	if data != nil && len(data) != n {
+		return 0, fmt.Errorf("ssd: data length %d != n %d", len(data), n)
+	}
+	sectors := n / device.SectorSize
+	if sectors == 0 {
+		return 0, nil
+	}
+	start := now
+	var latest time.Duration
+
+	s.mu.Lock()
+	s.lastWriteStall = 0
+	lpnBase := off / device.SectorSize
+	for i := 0; i < sectors; i++ {
+		// Foreground GC: the "uncontrollable" collection any host write
+		// can trip. Checked per sector so long writes cannot outrun the
+		// watermark.
+		if gcDone, ran := s.collectLocked(now); ran {
+			stall := gcDone - now
+			s.GCStalls.Observe(stall)
+			s.lastWriteStall += stall
+			now = gcDone
+			if gcDone > latest {
+				latest = gcDone
+			}
+		}
+		lpn := lpnBase + int64(i)
+		if old := s.l2p[lpn]; old != unmapped {
+			s.array.Invalidate(s.addrOf(old))
+			s.p2l[old] = unmapped
+		}
+		addr := s.allocPageLocked()
+		var page []byte
+		if data != nil {
+			page = data[i*device.SectorSize : (i+1)*device.SectorSize]
+		}
+		done, err := s.array.Program(now, addr, page)
+		if err != nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("ssd: program: %w", err)
+		}
+		p := s.ppn(addr)
+		s.l2p[lpn] = p
+		s.p2l[p] = lpn
+		if done > latest {
+			latest = done
+		}
+	}
+	s.mu.Unlock()
+
+	s.WA.AddHost(uint64(n))
+	s.WA.AddMedia(uint64(n))
+	if latest < now {
+		latest = now
+	}
+	return latest - start, nil
+}
+
+// ReadAt implements device.BlockDevice. Reading an unwritten sector fills
+// zeros (fresh-device semantics) rather than erroring, matching real block
+// devices.
+func (s *SSD) ReadAt(now time.Duration, p []byte, off int64) (time.Duration, error) {
+	n := len(p)
+	if err := device.CheckRange(off, n, s.exported); err != nil {
+		return 0, err
+	}
+	sectors := n / device.SectorSize
+	start := now
+	var latest time.Duration = now
+
+	s.mu.Lock()
+	lpnBase := off / device.SectorSize
+	for i := 0; i < sectors; i++ {
+		dst := p[i*device.SectorSize : (i+1)*device.SectorSize]
+		ppn := s.l2p[lpnBase+int64(i)]
+		if ppn == unmapped {
+			for j := range dst {
+				dst[j] = 0
+			}
+			continue
+		}
+		done, page, err := s.array.Read(now, s.addrOf(ppn))
+		if err != nil {
+			s.mu.Unlock()
+			return 0, fmt.Errorf("ssd: read: %w", err)
+		}
+		copy(dst, page)
+		if done > latest {
+			latest = done
+		}
+	}
+	s.mu.Unlock()
+	return latest - start, nil
+}
+
+// Discard implements device.BlockDevice (TRIM). Unmapping dead sectors is
+// how the cache layer above keeps device WA down; CacheLib issues discards
+// when it drops regions.
+func (s *SSD) Discard(off, n int64) error {
+	if err := device.CheckRange(off, int(n), s.exported); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lpnBase := off / device.SectorSize
+	for i := int64(0); i < n/device.SectorSize; i++ {
+		lpn := lpnBase + i
+		if old := s.l2p[lpn]; old != unmapped {
+			s.array.Invalidate(s.addrOf(old))
+			s.p2l[old] = unmapped
+			s.l2p[lpn] = unmapped
+		}
+	}
+	return nil
+}
+
+// collectLocked runs greedy GC until the free pool reaches the high
+// watermark. Returns the completion time and whether any work happened.
+func (s *SSD) collectLocked(now time.Duration) (time.Duration, bool) {
+	if len(s.freeBlks) >= s.cfg.GCLowBlocks {
+		return now, false
+	}
+	s.GCRuns.Inc()
+	s.inGC = true
+	cur := now
+	for len(s.freeBlks) < s.cfg.GCHighBlocks {
+		victim, ok := s.pickVictimLocked()
+		if !ok {
+			break // nothing collectable; device is pathologically full
+		}
+		delete(s.fullBlks, victim)
+		cur = s.migrateAndEraseLocked(cur, victim)
+		// Erased capacity refills the GC reserve before the general pool.
+		if len(s.reserveBlks) < s.reserveTarget {
+			s.reserveBlks = append(s.reserveBlks, victim)
+		} else {
+			s.freeBlks = append(s.freeBlks, victim)
+		}
+	}
+	s.inGC = false
+	return cur, true
+}
+
+// pickVictimLocked chooses the full block with the fewest valid pages
+// (greedy policy), skipping open blocks.
+func (s *SSD) pickVictimLocked() (int, bool) {
+	best, bestValid := -1, 1<<31
+	for b := range s.fullBlks {
+		if v := s.array.ValidPages(b); v < bestValid {
+			best, bestValid = b, v
+		}
+	}
+	return best, best >= 0
+}
+
+// migrateAndEraseLocked relocates the victim's live pages and erases it.
+// Migrated bytes count as media (not host) writes — the WA source. Reads
+// serialize on the victim's die; the rewrites fan out across the open
+// blocks' dies in parallel, as a real FTL's copy path does.
+func (s *SSD) migrateAndEraseLocked(now time.Duration, victim int) time.Duration {
+	geo := s.cfg.Geometry
+	base := int64(victim) * int64(geo.PagesPerBlock)
+	latest := now
+	for p := 0; p < geo.PagesPerBlock; p++ {
+		oldPPN := base + int64(p)
+		lpn := s.p2l[oldPPN]
+		if lpn == unmapped {
+			continue
+		}
+		addr := flash.Addr{Block: victim, Page: p}
+		rDone, page, err := s.array.Read(now, addr)
+		if err != nil {
+			panic(fmt.Sprintf("ssd: GC read of live page failed: %v", err))
+		}
+		dst := s.allocPageLocked()
+		wDone, err := s.array.Program(rDone, dst, page)
+		if err != nil {
+			panic(fmt.Sprintf("ssd: GC program failed: %v", err))
+		}
+		s.array.Invalidate(addr)
+		newPPN := s.ppn(dst)
+		s.l2p[lpn] = newPPN
+		s.p2l[newPPN] = lpn
+		s.p2l[oldPPN] = unmapped
+		s.WA.AddMedia(uint64(geo.PageSize))
+		if wDone > latest {
+			latest = wDone
+		}
+	}
+	eDone, err := s.array.Erase(latest, victim)
+	if err != nil {
+		panic(fmt.Sprintf("ssd: GC erase failed: %v", err))
+	}
+	return eDone
+}
+
+// TakeLastWriteStall returns (and clears) the GC stall absorbed by the most
+// recent WriteAt. The write syscall blocks the caller for this long — the
+// foreground-GC tail the paper attributes to regular SSDs (§4.2).
+func (s *SSD) TakeLastWriteStall() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.lastWriteStall
+	s.lastWriteStall = 0
+	return st
+}
+
+// FreeBlocks reports the current free-block pool size (for tests).
+func (s *SSD) FreeBlocks() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.freeBlks)
+}
+
+// MappedSectors reports how many logical sectors currently hold data.
+func (s *SSD) MappedSectors() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var c int64
+	for _, p := range s.l2p {
+		if p != unmapped {
+			c++
+		}
+	}
+	return c
+}
+
+var _ device.BlockDevice = (*SSD)(nil)

@@ -1,0 +1,126 @@
+package ssd
+
+import (
+	"testing"
+	"time"
+
+	"znscache/internal/device"
+	"znscache/internal/sim"
+)
+
+func TestDiscardReducesGCWork(t *testing.T) {
+	// Trimmed LBAs must not be migrated: with half the space discarded
+	// before each overwrite round, WA stays lower than without trims.
+	run := func(trim bool) float64 {
+		cfg := testConfig()
+		cfg.StoreData = false
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sectors := s.Size() / device.SectorSize
+		rng := sim.NewRand(21)
+		for i := int64(0); i < sectors*6; i++ {
+			lpn := rng.Int63n(sectors)
+			if trim && i%4 == 0 {
+				s.Discard(lpn*device.SectorSize, device.SectorSize)
+				continue
+			}
+			s.WriteAt(0, nil, device.SectorSize, lpn*device.SectorSize)
+		}
+		return s.WA.Factor()
+	}
+	with, without := run(true), run(false)
+	if with >= without {
+		t.Fatalf("WA with trims (%v) not below WA without (%v)", with, without)
+	}
+}
+
+func TestLastWriteStallConsumedOnce(t *testing.T) {
+	cfg := testConfig()
+	cfg.StoreData = false
+	s, _ := New(cfg)
+	// Churn until a GC stall happens.
+	sectors := s.Size() / device.SectorSize
+	rng := sim.NewRand(5)
+	var stall time.Duration
+	for i := int64(0); i < sectors*4; i++ {
+		s.WriteAt(0, nil, device.SectorSize, rng.Int63n(sectors)*device.SectorSize)
+		if st := s.TakeLastWriteStall(); st > 0 {
+			stall = st
+			break
+		}
+	}
+	if stall == 0 {
+		t.Fatal("no GC stall observed")
+	}
+	if s.TakeLastWriteStall() != 0 {
+		t.Fatal("stall not cleared after Take")
+	}
+}
+
+func TestWritesAfterHeavyChurnStillReadable(t *testing.T) {
+	// End-to-end FTL sanity at high utilization: the mapping stays a
+	// bijection and the device never loses the latest write.
+	cfg := testConfig()
+	cfg.StoreData = false
+	s, _ := New(cfg)
+	sectors := s.Size() / device.SectorSize
+	rng := sim.NewRand(31)
+	for i := int64(0); i < sectors*8; i++ {
+		s.WriteAt(0, nil, device.SectorSize, rng.Int63n(sectors)*device.SectorSize)
+	}
+	// p2l/l2p must agree for every mapped page.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	live := 0
+	for lpn, ppn := range s.l2p {
+		if ppn == unmapped {
+			continue
+		}
+		live++
+		if s.p2l[ppn] != int64(lpn) {
+			t.Fatalf("l2p/p2l disagree: lpn %d -> ppn %d -> lpn %d", lpn, ppn, s.p2l[ppn])
+		}
+	}
+	if live == 0 {
+		t.Fatal("no live mappings after churn")
+	}
+}
+
+func TestReservePoolMaintained(t *testing.T) {
+	cfg := testConfig()
+	cfg.StoreData = false
+	s, _ := New(cfg)
+	if len(s.reserveBlks) != s.reserveTarget {
+		t.Fatalf("initial reserve %d, want %d", len(s.reserveBlks), s.reserveTarget)
+	}
+	sectors := s.Size() / device.SectorSize
+	rng := sim.NewRand(3)
+	for i := int64(0); i < sectors*6; i++ {
+		s.WriteAt(0, nil, device.SectorSize, rng.Int63n(sectors)*device.SectorSize)
+	}
+	if s.GCRuns.Load() == 0 {
+		t.Fatal("churn never triggered GC")
+	}
+	s.mu.Lock()
+	got := len(s.reserveBlks)
+	s.mu.Unlock()
+	if got != s.reserveTarget {
+		t.Fatalf("reserve pool %d after GC churn, want %d (refilled)", got, s.reserveTarget)
+	}
+}
+
+func TestGCStallsVisibleInHistogram(t *testing.T) {
+	cfg := testConfig()
+	cfg.StoreData = false
+	s, _ := New(cfg)
+	sectors := s.Size() / device.SectorSize
+	rng := sim.NewRand(13)
+	for i := int64(0); i < sectors*5; i++ {
+		s.WriteAt(0, nil, device.SectorSize, rng.Int63n(sectors)*device.SectorSize)
+	}
+	if s.GCStalls.Count() != uint64(s.GCRuns.Load()) {
+		t.Fatalf("stall samples %d != GC runs %d", s.GCStalls.Count(), s.GCRuns.Load())
+	}
+}

@@ -1,0 +1,199 @@
+// Package stats provides the measurement plumbing the experiments report:
+// log-bucketed latency histograms with percentile queries, operation
+// counters, and write-amplification accounting. Every number printed by the
+// harness (throughput, hit ratio, P50/P99 latency, WA factor) comes from
+// this package.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// histBuckets is the number of logarithmic buckets. With ~12% bucket growth
+// starting at 1ns this spans beyond 1000s, enough for any simulated latency.
+const (
+	histBuckets = 256
+	histGrowth  = 1.12
+)
+
+// bucketBounds[i] is the exclusive upper bound (in ns) of bucket i.
+var bucketBounds = func() [histBuckets]float64 {
+	var b [histBuckets]float64
+	v := 1.0
+	for i := 0; i < histBuckets; i++ {
+		b[i] = v
+		v *= histGrowth
+	}
+	b[histBuckets-1] = math.Inf(1)
+	return b
+}()
+
+func bucketFor(d time.Duration) int {
+	ns := float64(d.Nanoseconds())
+	if ns <= 0 {
+		return 0
+	}
+	// log_growth(ns) with clamping; direct computation avoids a scan.
+	i := int(math.Log(ns)/math.Log(histGrowth)) + 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	// The float math can land one bucket off; fix up against the bounds.
+	for i > 0 && ns < bucketBounds[i-1] {
+		i--
+	}
+	for i < histBuckets-1 && ns >= bucketBounds[i] {
+		i++
+	}
+	return i
+}
+
+// Histogram is a concurrency-safe log-bucketed latency histogram.
+type Histogram struct {
+	mu     sync.Mutex
+	counts [histBuckets]uint64
+	total  uint64
+	sum    time.Duration
+	min    time.Duration
+	max    time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.counts[bucketFor(d)]++
+	h.total++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+// Mean returns the average sample, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.total)
+}
+
+// Max returns the largest sample, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest sample, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Percentile returns the latency at quantile q in [0,1]. The value returned
+// is the upper bound of the bucket containing the q-th sample, so it
+// slightly overestimates; that bias is consistent across schemes and does
+// not affect comparisons. Returns 0 for an empty histogram.
+func (h *Histogram) Percentile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i == histBuckets-1 {
+				return h.max
+			}
+			ub := time.Duration(bucketBounds[i])
+			if ub > h.max {
+				ub = h.max
+			}
+			return ub
+		}
+	}
+	return h.max
+}
+
+// Snapshot returns an immutable copy of headline statistics.
+func (h *Histogram) Snapshot() HistSnapshot {
+	return HistSnapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(0.50),
+		P90:   h.Percentile(0.90),
+		P99:   h.Percentile(0.99),
+		P999:  h.Percentile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.counts = [histBuckets]uint64{}
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// HistSnapshot is a point-in-time summary of a Histogram.
+type HistSnapshot struct {
+	Count                     uint64
+	Mean, P50, P90, P99, P999 time.Duration
+	Max                       time.Duration
+}
+
+// String renders the snapshot in a compact single line.
+func (s HistSnapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P99, s.Max)
+}

@@ -1,0 +1,248 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Percentile(0.99) != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(100 * time.Microsecond)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", h.Count())
+	}
+	if h.Mean() != 100*time.Microsecond {
+		t.Fatalf("Mean = %v, want 100µs", h.Mean())
+	}
+	p50 := h.Percentile(0.5)
+	if p50 < 100*time.Microsecond || p50 > 120*time.Microsecond {
+		t.Fatalf("P50 = %v, want ~100µs (within one bucket)", p50)
+	}
+}
+
+func TestHistogramPercentileOrdering(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50, p90, p99 := h.Percentile(0.5), h.Percentile(0.9), h.Percentile(0.99)
+	if !(p50 <= p90 && p90 <= p99) {
+		t.Fatalf("percentiles not monotone: p50=%v p90=%v p99=%v", p50, p90, p99)
+	}
+	// P50 of 1..1000µs should be near 500µs (bucketing overestimates ≤12%).
+	if p50 < 450*time.Microsecond || p50 > 620*time.Microsecond {
+		t.Fatalf("P50 = %v, want ~500µs", p50)
+	}
+	if p99 < 900*time.Microsecond {
+		t.Fatalf("P99 = %v, want ≥900µs", p99)
+	}
+}
+
+func TestHistogramTailDominatedByOutliers(t *testing.T) {
+	// Models GC stalls: 99 fast ops, 1 slow op. P99 must expose the stall.
+	h := NewHistogram()
+	for i := 0; i < 980; i++ {
+		h.Observe(50 * time.Microsecond)
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(20 * time.Millisecond)
+	}
+	if p50 := h.Percentile(0.5); p50 > 100*time.Microsecond {
+		t.Fatalf("P50 = %v, want fast-path latency", p50)
+	}
+	if p99 := h.Percentile(0.99); p99 < 10*time.Millisecond {
+		t.Fatalf("P99 = %v, want stall latency ≥10ms", p99)
+	}
+}
+
+func TestHistogramMinMax(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(3 * time.Millisecond)
+	h.Observe(1 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+	if h.Min() != time.Millisecond {
+		t.Fatalf("Min = %v, want 1ms", h.Min())
+	}
+	if h.Max() != 3*time.Millisecond {
+		t.Fatalf("Max = %v, want 3ms", h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	if h.Count() != 1 || h.Min() != 0 {
+		t.Fatal("negative samples should be clamped to zero")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestHistogramPercentileNeverExceedsMax(t *testing.T) {
+	if err := quick.Check(func(samples []uint32) bool {
+		if len(samples) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		var max time.Duration
+		for _, s := range samples {
+			d := time.Duration(s)
+			h.Observe(d)
+			if d > max {
+				max = d
+			}
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			if h.Percentile(q) > max {
+				return false
+			}
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("Count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHistogramSnapshotString(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.String() == "" {
+		t.Fatal("snapshot incomplete")
+	}
+}
+
+func TestBucketForMonotone(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{0, 1, 2, 10, 100, 1000, 1e6, 1e9, 1e12} {
+		b := bucketFor(d)
+		if b < prev {
+			t.Fatalf("bucketFor not monotone at %v: %d < %d", d, b, prev)
+		}
+		prev = b
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Load() != 5 {
+		t.Fatalf("Counter = %d, want 5", c.Load())
+	}
+	c.Reset()
+	if c.Load() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Load() != 16000 {
+		t.Fatalf("Counter = %d, want 16000", c.Load())
+	}
+}
+
+func TestWriteAmpNeutralWhenEmpty(t *testing.T) {
+	var w WriteAmp
+	if w.Factor() != 1 {
+		t.Fatalf("empty WA factor = %v, want 1", w.Factor())
+	}
+}
+
+func TestWriteAmpFactor(t *testing.T) {
+	var w WriteAmp
+	w.AddHost(100)
+	w.AddMedia(139)
+	if got := w.Factor(); got != 1.39 {
+		t.Fatalf("WA factor = %v, want 1.39", got)
+	}
+	if w.Host() != 100 || w.Media() != 139 {
+		t.Fatal("byte counts wrong")
+	}
+	w.Reset()
+	if w.Factor() != 1 {
+		t.Fatal("Reset did not clear WA")
+	}
+}
+
+func TestWriteAmpNeverBelowOneForLogStructured(t *testing.T) {
+	// Property: if media >= host (true for any log-structured layer that
+	// writes at least what the client asked), factor >= 1.
+	if err := quick.Check(func(host uint32, extra uint32) bool {
+		var w WriteAmp
+		w.AddHost(uint64(host))
+		w.AddMedia(uint64(host) + uint64(extra))
+		return w.Factor() >= 1 || host == 0
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var h HitRatio
+	if h.Ratio() != 0 {
+		t.Fatal("empty hit ratio should be 0")
+	}
+	for i := 0; i < 94; i++ {
+		h.Hit()
+	}
+	for i := 0; i < 6; i++ {
+		h.Miss()
+	}
+	if got := h.Ratio(); got != 0.94 {
+		t.Fatalf("hit ratio = %v, want 0.94", got)
+	}
+	if h.Hits() != 94 || h.Misses() != 6 {
+		t.Fatal("hit/miss counts wrong")
+	}
+	h.Reset()
+	if h.Ratio() != 0 {
+		t.Fatal("Reset did not clear hit ratio")
+	}
+}

@@ -1,0 +1,116 @@
+// Package store provides the region stores for three of the paper's four
+// schemes: Block-Cache (regions at fixed offsets on a regular SSD),
+// File-Cache (regions inside one large file on the F2FS-like filesystem),
+// and Zone-Cache (one region per zone on a ZNS device). The fourth scheme,
+// Region-Cache, lives in internal/middle because it is the paper's main
+// artifact.
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"znscache/internal/cache"
+	"znscache/internal/device"
+)
+
+// Errors shared by the stores.
+var (
+	ErrBadConfig = errors.New("store: invalid configuration")
+	ErrRegion    = errors.New("store: region index out of range")
+	ErrBounds    = errors.New("store: read beyond region")
+)
+
+// BlockStore maps region i to byte range [i*regionSize, (i+1)*regionSize) on
+// a block device — exactly how CacheLib uses a raw regular SSD. Eviction is
+// a no-op at the device: the region's LBAs are simply overwritten by the
+// next flush, and the FTL discovers the dead pages then. The FTL's GC pays
+// for that opacity (device-level WA, tail stalls).
+type BlockStore struct {
+	dev        device.BlockDevice
+	regionSize int64
+	numRegions int
+	scratch    []byte
+}
+
+// NewBlockStore builds a store over dev. If numRegions is 0, the device
+// capacity is divided fully into regions.
+func NewBlockStore(dev device.BlockDevice, regionSize int64, numRegions int) (*BlockStore, error) {
+	if regionSize <= 0 || regionSize%device.SectorSize != 0 {
+		return nil, fmt.Errorf("%w: region size %d", ErrBadConfig, regionSize)
+	}
+	max := int(dev.Size() / regionSize)
+	if numRegions == 0 {
+		numRegions = max
+	}
+	if numRegions <= 0 || numRegions > max {
+		return nil, fmt.Errorf("%w: %d regions of %d bytes exceed device %d",
+			ErrBadConfig, numRegions, regionSize, dev.Size())
+	}
+	return &BlockStore{dev: dev, regionSize: regionSize, numRegions: numRegions}, nil
+}
+
+// NumRegions implements cache.RegionStore.
+func (s *BlockStore) NumRegions() int { return s.numRegions }
+
+// RegionSize implements cache.RegionStore.
+func (s *BlockStore) RegionSize() int64 { return s.regionSize }
+
+func (s *BlockStore) check(id int, off int64, n int) error {
+	if id < 0 || id >= s.numRegions {
+		return fmt.Errorf("%w: %d", ErrRegion, id)
+	}
+	if off < 0 || n < 0 || off+int64(n) > s.regionSize {
+		return fmt.Errorf("%w: [%d,+%d)", ErrBounds, off, n)
+	}
+	return nil
+}
+
+// WriteRegion implements cache.RegionStore.
+func (s *BlockStore) WriteRegion(now time.Duration, id int, data []byte) (time.Duration, error) {
+	if err := s.check(id, 0, int(s.regionSize)); err != nil {
+		return 0, err
+	}
+	return s.dev.WriteAt(now, data, int(s.regionSize), int64(id)*s.regionSize)
+}
+
+// ReadRegion implements cache.RegionStore.
+func (s *BlockStore) ReadRegion(now time.Duration, id int, p []byte, n int, off int64) (time.Duration, error) {
+	if err := s.check(id, off, n); err != nil {
+		return 0, err
+	}
+	if p == nil {
+		if cap(s.scratch) < n {
+			s.scratch = make([]byte, n)
+		}
+		p = s.scratch[:n]
+	}
+	return s.dev.ReadAt(now, p[:n], int64(id)*s.regionSize+off)
+}
+
+// EvictRegion implements cache.RegionStore. No device action: the LBA range
+// is reused in place by the next WriteRegion, mirroring CacheLib on raw
+// block devices.
+func (s *BlockStore) EvictRegion(time.Duration, int) (time.Duration, error) {
+	return 0, nil
+}
+
+// stallReporter is implemented by devices whose writes can block the caller
+// beyond the media time (the regular SSD's foreground GC).
+type stallReporter interface {
+	TakeLastWriteStall() time.Duration
+}
+
+// WriteSyncCost implements cache.SyncCoster: the write syscall holds the
+// flusher for as long as the device's internal GC stalled the write — the
+// "uncontrollable GC" path of the paper's Block-Cache.
+func (s *BlockStore) WriteSyncCost() time.Duration {
+	if sr, ok := s.dev.(stallReporter); ok {
+		return sr.TakeLastWriteStall()
+	}
+	return 0
+}
+
+var _ cache.RegionStore = (*BlockStore)(nil)
+var _ cache.SyncCoster = (*BlockStore)(nil)

@@ -1,0 +1,227 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"znscache/internal/device"
+	"znscache/internal/f2fs"
+	"znscache/internal/flash"
+	"znscache/internal/ssd"
+	"znscache/internal/zns"
+)
+
+const testRegion = 8 * device.SectorSize // 32 KiB regions
+
+func testGeo() flash.Geometry {
+	return flash.Geometry{
+		Channels: 2, DiesPerChan: 2, BlocksPerDie: 32,
+		PagesPerBlock: 16, PageSize: device.SectorSize,
+	}
+}
+
+func newSSD(t *testing.T) *ssd.SSD {
+	t.Helper()
+	d, err := ssd.New(ssd.Config{Geometry: testGeo(), Timing: flash.DefaultTiming(), OPRatio: 0.2, StoreData: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func newZNS(t *testing.T) *zns.Device {
+	t.Helper()
+	d, err := zns.New(zns.Config{
+		Geometry: testGeo(), Timing: flash.DefaultTiming(),
+		BlocksPerZone: 8, MaxOpenZones: 8, StoreData: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestBlockStoreRoundTrip(t *testing.T) {
+	s, err := NewBlockStore(newSSD(t), testRegion, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRegions() <= 0 || s.RegionSize() != testRegion {
+		t.Fatalf("geometry: %d regions of %d", s.NumRegions(), s.RegionSize())
+	}
+	want := bytes.Repeat([]byte{0x77}, testRegion)
+	if _, err := s.WriteRegion(0, 2, want); err != nil {
+		t.Fatalf("WriteRegion: %v", err)
+	}
+	got := make([]byte, device.SectorSize)
+	if _, err := s.ReadRegion(0, 2, got, len(got), device.SectorSize); err != nil {
+		t.Fatalf("ReadRegion: %v", err)
+	}
+	if !bytes.Equal(got, want[:device.SectorSize]) {
+		t.Fatal("round-trip mismatch")
+	}
+}
+
+func TestBlockStoreBounds(t *testing.T) {
+	s, _ := NewBlockStore(newSSD(t), testRegion, 2)
+	if _, err := s.WriteRegion(0, 2, nil); !errors.Is(err, ErrRegion) {
+		t.Fatalf("oob region err = %v", err)
+	}
+	if _, err := s.ReadRegion(0, 0, nil, device.SectorSize, testRegion); !errors.Is(err, ErrBounds) {
+		t.Fatalf("oob offset err = %v", err)
+	}
+	if _, err := NewBlockStore(newSSD(t), 1000, 0); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unaligned region size err = %v", err)
+	}
+	if _, err := NewBlockStore(newSSD(t), testRegion, 10000); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("too many regions err = %v", err)
+	}
+}
+
+func TestBlockStoreOverwriteSameLBAs(t *testing.T) {
+	// Overwriting a region must not consume new logical space (the FTL
+	// sees an in-place overwrite and invalidates the old flash pages).
+	dev := newSSD(t)
+	s, _ := NewBlockStore(dev, testRegion, 2)
+	for i := 0; i < 10; i++ {
+		if _, err := s.WriteRegion(0, 0, nil); err != nil {
+			t.Fatalf("overwrite %d: %v", i, err)
+		}
+	}
+	if got := dev.MappedSectors(); got != testRegion/device.SectorSize {
+		t.Fatalf("MappedSectors = %d, want %d", got, testRegion/device.SectorSize)
+	}
+}
+
+func TestBlockStoreEvictIsFree(t *testing.T) {
+	s, _ := NewBlockStore(newSSD(t), testRegion, 2)
+	lat, err := s.EvictRegion(0, 0)
+	if err != nil || lat != 0 {
+		t.Fatalf("EvictRegion = (%v, %v), want free no-op", lat, err)
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	fs, err := f2fs.Mount(newZNS(t), f2fs.Config{OPRatio: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("cache", 4*testRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewFileStore(f, testRegion, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRegions() != 4 {
+		t.Fatalf("NumRegions = %d", s.NumRegions())
+	}
+	want := bytes.Repeat([]byte{0x31}, testRegion)
+	if _, err := s.WriteRegion(0, 3, want); err != nil {
+		t.Fatalf("WriteRegion: %v", err)
+	}
+	got := make([]byte, 2*device.SectorSize)
+	if _, err := s.ReadRegion(0, 3, got, len(got), 0); err != nil {
+		t.Fatalf("ReadRegion: %v", err)
+	}
+	if !bytes.Equal(got, want[:len(got)]) {
+		t.Fatal("round-trip mismatch")
+	}
+}
+
+func TestFileStoreAccountsFSWriteAmp(t *testing.T) {
+	dev := newZNS(t)
+	fs, _ := f2fs.Mount(dev, f2fs.Config{OPRatio: 0.25, CheckpointBytes: testRegion})
+	f, _ := fs.Create("cache", 4*testRegion)
+	s, _ := NewFileStore(f, testRegion, 0)
+	// Write all regions twice: overwrites force out-of-place updates and
+	// checkpoints; media > host at the filesystem layer.
+	for round := 0; round < 2; round++ {
+		for id := 0; id < 4; id++ {
+			if _, err := s.WriteRegion(0, id, nil); err != nil {
+				t.Fatalf("write round %d region %d: %v", round, id, err)
+			}
+		}
+	}
+	if fs.WA.Media() <= fs.WA.Host() {
+		t.Fatalf("fs WA media %d not above host %d", fs.WA.Media(), fs.WA.Host())
+	}
+}
+
+func TestZoneStoreRegionEqualsZone(t *testing.T) {
+	dev := newZNS(t)
+	s, err := NewZoneStore(dev, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumRegions() != dev.NumZones() {
+		t.Fatalf("NumRegions = %d, want %d zones", s.NumRegions(), dev.NumZones())
+	}
+	if s.RegionSize() != dev.ZoneSize() {
+		t.Fatalf("RegionSize = %d, want zone size %d", s.RegionSize(), dev.ZoneSize())
+	}
+}
+
+func TestZoneStoreWriteResetCycle(t *testing.T) {
+	dev := newZNS(t)
+	s, _ := NewZoneStore(dev, 4)
+	want := bytes.Repeat([]byte{0x42}, int(dev.ZoneSize()))
+	if _, err := s.WriteRegion(0, 1, want); err != nil {
+		t.Fatalf("WriteRegion: %v", err)
+	}
+	got := make([]byte, device.SectorSize)
+	if _, err := s.ReadRegion(0, 1, got, len(got), 0); err != nil {
+		t.Fatalf("ReadRegion: %v", err)
+	}
+	if !bytes.Equal(got, want[:device.SectorSize]) {
+		t.Fatal("round-trip mismatch")
+	}
+	// Evict = reset; the zone must be writable from scratch again.
+	if _, err := s.EvictRegion(0, 1); err != nil {
+		t.Fatalf("EvictRegion: %v", err)
+	}
+	zi, _ := dev.ZoneInfo(1)
+	if zi.State != zns.ZoneEmpty {
+		t.Fatalf("zone state after evict = %v, want EMPTY", zi.State)
+	}
+	if _, err := s.WriteRegion(0, 1, want); err != nil {
+		t.Fatalf("rewrite after evict: %v", err)
+	}
+}
+
+func TestZoneStoreZeroWA(t *testing.T) {
+	// The Zone-Cache invariant: flash programs == host sectors, always.
+	dev := newZNS(t)
+	s, _ := NewZoneStore(dev, 4)
+	for round := 0; round < 3; round++ {
+		for id := 0; id < 4; id++ {
+			if round > 0 {
+				if _, err := s.EvictRegion(0, id); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := s.WriteRegion(0, id, nil); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	wantPrograms := uint64(3 * 4 * int(dev.ZoneSize()/device.SectorSize))
+	if got := dev.Array().Programs.Load(); got != wantPrograms {
+		t.Fatalf("flash programs = %d, want %d (zero WA)", got, wantPrograms)
+	}
+}
+
+func TestZoneStoreBounds(t *testing.T) {
+	s, _ := NewZoneStore(newZNS(t), 2)
+	if _, err := s.WriteRegion(0, 5, nil); !errors.Is(err, ErrRegion) {
+		t.Fatalf("oob region err = %v", err)
+	}
+	if _, err := s.EvictRegion(0, -1); !errors.Is(err, ErrRegion) {
+		t.Fatalf("negative region err = %v", err)
+	}
+	if _, err := NewZoneStore(newZNS(t), 100); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("too many regions err = %v", err)
+	}
+}

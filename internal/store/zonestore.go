@@ -1,0 +1,87 @@
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"znscache/internal/cache"
+	"znscache/internal/zns"
+)
+
+// ZoneStore maps one region to exactly one zone — the Zone-Cache scheme
+// (Figure 1b). Region eviction becomes a zone reset: no data migration,
+// zero write amplification, no GC, and no over-provisioning; the entire
+// device capacity serves the cache. The price is that the region size is
+// dictated by the zone size, with everything §3.2 says follows from that.
+type ZoneStore struct {
+	dev        *zns.Device
+	numRegions int
+	scratch    []byte
+}
+
+// NewZoneStore builds the store. If numRegions is 0, every zone of the
+// device becomes a region; otherwise the first numRegions zones are used
+// (the paper's experiments pin the zone count, e.g. 25 zones in Figure 2).
+func NewZoneStore(dev *zns.Device, numRegions int) (*ZoneStore, error) {
+	if numRegions == 0 {
+		numRegions = dev.NumZones()
+	}
+	if numRegions <= 0 || numRegions > dev.NumZones() {
+		return nil, fmt.Errorf("%w: %d regions for %d zones", ErrBadConfig, numRegions, dev.NumZones())
+	}
+	return &ZoneStore{dev: dev, numRegions: numRegions}, nil
+}
+
+// NumRegions implements cache.RegionStore.
+func (s *ZoneStore) NumRegions() int { return s.numRegions }
+
+// RegionSize implements cache.RegionStore: the zone size, by construction.
+func (s *ZoneStore) RegionSize() int64 { return s.dev.ZoneSize() }
+
+func (s *ZoneStore) check(id int, off int64, n int) error {
+	if id < 0 || id >= s.numRegions {
+		return fmt.Errorf("%w: %d", ErrRegion, id)
+	}
+	if off < 0 || n < 0 || off+int64(n) > s.dev.ZoneSize() {
+		return fmt.Errorf("%w: [%d,+%d)", ErrBounds, off, n)
+	}
+	return nil
+}
+
+// WriteRegion implements cache.RegionStore: one sequential whole-zone write
+// starting at the zone's (reset) write pointer.
+func (s *ZoneStore) WriteRegion(now time.Duration, id int, data []byte) (time.Duration, error) {
+	if err := s.check(id, 0, int(s.dev.ZoneSize())); err != nil {
+		return 0, err
+	}
+	return s.dev.Write(now, data, int(s.dev.ZoneSize()), int64(id)*s.dev.ZoneSize())
+}
+
+// ReadRegion implements cache.RegionStore.
+func (s *ZoneStore) ReadRegion(now time.Duration, id int, p []byte, n int, off int64) (time.Duration, error) {
+	if err := s.check(id, off, n); err != nil {
+		return 0, err
+	}
+	if p == nil {
+		if cap(s.scratch) < n {
+			s.scratch = make([]byte, n)
+		}
+		p = s.scratch[:n]
+	}
+	return s.dev.Read(now, p[:n], int64(id)*s.dev.ZoneSize()+off)
+}
+
+// EvictRegion implements cache.RegionStore: a zone reset. "When a region is
+// evicted, the zone can be directly reset without any data migration"
+// (§3.2) — the zero-WA property.
+func (s *ZoneStore) EvictRegion(now time.Duration, id int) (time.Duration, error) {
+	if id < 0 || id >= s.numRegions {
+		return 0, fmt.Errorf("%w: %d", ErrRegion, id)
+	}
+	return s.dev.Reset(now, id)
+}
+
+// Device exposes the underlying ZNS device for stats.
+func (s *ZoneStore) Device() *zns.Device { return s.dev }
+
+var _ cache.RegionStore = (*ZoneStore)(nil)

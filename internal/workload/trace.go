@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Trace replays operations from a text stream, one op per line:
+//
+//	get <key>
+//	set <key> <valueLen>
+//	del <key>
+//
+// Blank lines and lines starting with '#' are skipped. This is the format
+// produced by common cache-trace converters (one op per line, whitespace
+// separated) and is sufficient to replay production traces against any of
+// the four schemes via cachebench or the public API.
+type Trace struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+// NewTrace wraps a reader. The reader is consumed lazily by Next.
+func NewTrace(r io.Reader) *Trace {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	return &Trace{sc: sc}
+}
+
+// Err returns the first parse or read error encountered.
+func (t *Trace) Err() error { return t.err }
+
+// Line returns the number of lines consumed so far.
+func (t *Trace) Line() int { return t.line }
+
+// Next returns the next operation; ok is false at end of stream or on the
+// first error (check Err).
+func (t *Trace) Next() (op Op, ok bool) {
+	for t.sc.Scan() {
+		t.line++
+		text := strings.TrimSpace(t.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		parsed, err := parseTraceOp(fields)
+		if err != nil {
+			t.err = fmt.Errorf("trace line %d: %w", t.line, err)
+			return Op{}, false
+		}
+		return parsed, true
+	}
+	if err := t.sc.Err(); err != nil && t.err == nil {
+		t.err = err
+	}
+	return Op{}, false
+}
+
+func parseTraceOp(fields []string) (Op, error) {
+	if len(fields) < 2 {
+		return Op{}, fmt.Errorf("want 'op key [len]', got %d fields", len(fields))
+	}
+	key := fields[1]
+	if key == "" {
+		return Op{}, fmt.Errorf("empty key")
+	}
+	switch fields[0] {
+	case "get", "GET":
+		op := Op{Kind: OpGet, Key: key}
+		if len(fields) >= 3 {
+			n, err := strconv.Atoi(fields[2])
+			if err != nil || n < 0 {
+				return Op{}, fmt.Errorf("bad get size %q", fields[2])
+			}
+			op.ValLen = n // size hint for read-through fills
+		}
+		return op, nil
+	case "set", "SET", "put", "PUT":
+		if len(fields) < 3 {
+			return Op{}, fmt.Errorf("set needs a value length")
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			return Op{}, fmt.Errorf("bad set size %q", fields[2])
+		}
+		return Op{Kind: OpSet, Key: key, ValLen: n}, nil
+	case "del", "DEL", "delete", "DELETE":
+		return Op{Kind: OpDelete, Key: key}, nil
+	default:
+		return Op{}, fmt.Errorf("unknown op %q", fields[0])
+	}
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceParsesAllOps(t *testing.T) {
+	in := `
+# production trace excerpt
+get photo:1
+set photo:1 4096
+GET photo:1 2048
+put user:9 128
+del photo:1
+DELETE user:9
+`
+	tr := NewTrace(strings.NewReader(in))
+	want := []Op{
+		{Kind: OpGet, Key: "photo:1"},
+		{Kind: OpSet, Key: "photo:1", ValLen: 4096},
+		{Kind: OpGet, Key: "photo:1", ValLen: 2048},
+		{Kind: OpSet, Key: "user:9", ValLen: 128},
+		{Kind: OpDelete, Key: "photo:1"},
+		{Kind: OpDelete, Key: "user:9"},
+	}
+	for i, w := range want {
+		got, ok := tr.Next()
+		if !ok {
+			t.Fatalf("op %d: unexpected end (err=%v)", i, tr.Err())
+		}
+		if got != w {
+			t.Fatalf("op %d = %+v, want %+v", i, got, w)
+		}
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("extra op after end")
+	}
+	if tr.Err() != nil {
+		t.Fatalf("Err = %v", tr.Err())
+	}
+}
+
+func TestTraceRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"frobnicate key",
+		"set key",
+		"set key notanumber",
+		"set key -5",
+		"get",
+	}
+	for _, in := range cases {
+		tr := NewTrace(strings.NewReader(in))
+		if _, ok := tr.Next(); ok {
+			t.Errorf("malformed line %q parsed", in)
+		}
+		if tr.Err() == nil {
+			t.Errorf("malformed line %q produced no error", in)
+		}
+	}
+}
+
+func TestTraceSkipsCommentsAndBlanks(t *testing.T) {
+	tr := NewTrace(strings.NewReader("\n\n# only comments\n\n"))
+	if _, ok := tr.Next(); ok {
+		t.Fatal("comment-only trace yielded an op")
+	}
+	if tr.Err() != nil {
+		t.Fatalf("Err = %v", tr.Err())
+	}
+	if tr.Line() != 4 {
+		t.Fatalf("Line = %d, want 4", tr.Line())
+	}
+}

@@ -1,0 +1,321 @@
+// Package workload generates the access patterns the paper evaluates with:
+// CacheBench's feature_stress/navy/bc mix (50% get, 30% set, 20% delete,
+// §4.1) over a skewed key popularity, and db_bench's fillrandom/readrandom
+// with the "ReadRandom Exp Range" (ER) skew knob (§4.2).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"znscache/internal/sim"
+)
+
+// OpKind is a cache operation type.
+type OpKind uint8
+
+// Operation kinds of the bc mix.
+const (
+	OpGet OpKind = iota
+	OpSet
+	OpDelete
+)
+
+// String names the op.
+func (k OpKind) String() string {
+	switch k {
+	case OpGet:
+		return "get"
+	case OpSet:
+		return "set"
+	case OpDelete:
+		return "del"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one generated cache operation.
+type Op struct {
+	Kind   OpKind
+	Key    string
+	ValLen int
+}
+
+// Zipf generates values in [0, n) with Zipfian popularity (theta in (0,1);
+// ~0.99 matches caching workloads). It is the Gray et al. generator YCSB
+// uses, with constants precomputed so Next is O(1).
+type Zipf struct {
+	rng   *sim.Rand
+	n     int64
+	theta float64
+	alpha float64
+	zetan float64
+	eta   float64
+}
+
+// NewZipf builds a generator over [0, n).
+func NewZipf(n int64, theta float64, seed uint64) *Zipf {
+	if n < 1 {
+		n = 1
+	}
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	z := &Zipf{rng: sim.NewRand(seed), n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+func zeta(n int64, theta float64) float64 {
+	// For large n, approximate the tail with the integral: zeta(n) ≈
+	// zeta(k0) + ∫k0..n x^-theta dx. Exact for small n.
+	const exact = 10000
+	var sum float64
+	limit := n
+	if limit > exact {
+		limit = exact
+	}
+	for i := int64(1); i <= limit; i++ {
+		sum += math.Pow(float64(i), -theta)
+	}
+	if n > exact {
+		sum += (math.Pow(float64(n), 1-theta) - math.Pow(float64(exact), 1-theta)) / (1 - theta)
+	}
+	return sum
+}
+
+// Next returns the next sample; 0 is the hottest value.
+func (z *Zipf) Next() int64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := int64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v < 0 {
+		v = 0
+	}
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// ExpRange generates key indices in [0, n) with db_bench's exponential-
+// range skew: a log-uniform spread over er decades-of-e, so popularity of
+// key k falls off as ~1/k and a larger er concentrates more traffic on the
+// hottest keys — "larger ER value means more skewed data" (§4.2).
+type ExpRange struct {
+	rng *sim.Rand
+	n   int64
+	er  float64
+}
+
+// NewExpRange builds the generator (er of 15 and 25 reproduce Figure 5).
+func NewExpRange(n int64, er float64, seed uint64) *ExpRange {
+	if n < 1 {
+		n = 1
+	}
+	if er <= 0 {
+		er = 15
+	}
+	return &ExpRange{rng: sim.NewRand(seed), n: n, er: er}
+}
+
+// Next returns the next key index; 0 is the hottest key.
+func (e *ExpRange) Next() int64 {
+	u := e.rng.Float64()
+	v := int64(float64(e.n) * math.Exp((u-1)*e.er))
+	if v < 0 {
+		v = 0
+	}
+	if v >= e.n {
+		v = e.n - 1
+	}
+	return v
+}
+
+// KeyName renders key index i in the fixed-width form both benchmarks use
+// (16-byte keys, matching the paper's db_bench configuration).
+func KeyName(i int64) string {
+	return fmt.Sprintf("key-%012d", i)
+}
+
+// BCConfig parameterizes the CacheBench-style generator.
+type BCConfig struct {
+	// Keys is the key-space size (working set; the paper sizes it above
+	// the cache so misses exist).
+	Keys int64
+	// GetPct/SetPct/DelPct are the op mix percentages (default 50/30/20,
+	// the feature_stress/navy/bc mix).
+	GetPct, SetPct, DelPct int
+	// Theta is the zipf skew (default 0.99).
+	Theta float64
+	// ValueSizes and ValueWeights describe the object-size distribution
+	// (defaults approximate navy/bc: small KB-scale objects).
+	ValueSizes   []int
+	ValueWeights []int
+	Seed         uint64
+}
+
+func (c *BCConfig) fillDefaults() {
+	if c.Keys == 0 {
+		c.Keys = 1 << 20
+	}
+	if c.GetPct+c.SetPct+c.DelPct == 0 {
+		c.GetPct, c.SetPct, c.DelPct = 50, 30, 20
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.99
+	}
+	if len(c.ValueSizes) == 0 {
+		c.ValueSizes = []int{512, 1024, 4096, 8192, 16384}
+		c.ValueWeights = []int{25, 30, 30, 10, 5}
+	}
+	if len(c.ValueWeights) != len(c.ValueSizes) {
+		c.ValueWeights = make([]int, len(c.ValueSizes))
+		for i := range c.ValueWeights {
+			c.ValueWeights[i] = 1
+		}
+	}
+}
+
+// BC is the CacheBench-style op generator.
+type BC struct {
+	cfg       BCConfig
+	rng       *sim.Rand
+	zipf      *Zipf
+	weightSum int
+}
+
+// NewBC builds the generator.
+func NewBC(cfg BCConfig) *BC {
+	cfg.fillDefaults()
+	b := &BC{
+		cfg:  cfg,
+		rng:  sim.NewRand(cfg.Seed + 1),
+		zipf: NewZipf(cfg.Keys, cfg.Theta, cfg.Seed+2),
+	}
+	for _, w := range cfg.ValueWeights {
+		b.weightSum += w
+	}
+	return b
+}
+
+// valueLen samples the object-size distribution.
+func (b *BC) valueLen() int {
+	r := b.rng.Intn(b.weightSum)
+	for i, w := range b.cfg.ValueWeights {
+		if r < w {
+			return b.cfg.ValueSizes[i]
+		}
+		r -= w
+	}
+	return b.cfg.ValueSizes[len(b.cfg.ValueSizes)-1]
+}
+
+// Next returns the next operation. Get ops carry a ValLen too: CacheBench
+// drivers insert the object on a miss (read-through fill), and the fill
+// needs the object's size. Gets and sets follow the zipf popularity;
+// deletes are drawn uniformly — they model invalidations, which in caching
+// workloads are not focused on the hottest keys (a hot-focused delete
+// stream would cap the achievable hit ratio far below the ~94% the paper's
+// bc workload reaches).
+func (b *BC) Next() Op {
+	r := b.rng.Intn(100)
+	switch {
+	case r < b.cfg.GetPct:
+		return Op{Kind: OpGet, Key: KeyName(b.zipf.Next()), ValLen: b.valueLen()}
+	case r < b.cfg.GetPct+b.cfg.SetPct:
+		return Op{Kind: OpSet, Key: KeyName(b.zipf.Next()), ValLen: b.valueLen()}
+	default:
+		return Op{Kind: OpDelete, Key: KeyName(b.rng.Int63n(b.cfg.Keys))}
+	}
+}
+
+// FillRandom yields n puts over a shuffled dense key space — db_bench's
+// fillrandom phase. Keys are visited in pseudo-random order, each exactly
+// once, without materializing a permutation (a Feistel-style bijection).
+type FillRandom struct {
+	n    int64
+	next int64
+	perm *permuter
+	// ValLen is the value size for every put (paper: 64 bytes).
+	ValLen int
+}
+
+// NewFillRandom builds the sequence.
+func NewFillRandom(n int64, valLen int, seed uint64) *FillRandom {
+	return &FillRandom{n: n, perm: newPermuter(n, seed), ValLen: valLen}
+}
+
+// Next returns the next put, and false once n keys have been emitted.
+func (f *FillRandom) Next() (Op, bool) {
+	if f.next >= f.n {
+		return Op{}, false
+	}
+	i := f.perm.at(f.next)
+	f.next++
+	return Op{Kind: OpSet, Key: KeyName(i), ValLen: f.ValLen}, true
+}
+
+// Remaining reports how many puts are left.
+func (f *FillRandom) Remaining() int64 { return f.n - f.next }
+
+// permuter maps [0,n) to itself bijectively via a 4-round Feistel network
+// over the next power-of-two domain with cycle-walking.
+type permuter struct {
+	n    int64
+	bits uint
+	keys [4]uint64
+}
+
+func newPermuter(n int64, seed uint64) *permuter {
+	p := &permuter{n: n}
+	r := sim.NewRand(seed)
+	for i := range p.keys {
+		p.keys[i] = r.Uint64()
+	}
+	p.bits = 1
+	for int64(1)<<p.bits < n {
+		p.bits++
+	}
+	if p.bits%2 != 0 {
+		p.bits++
+	}
+	return p
+}
+
+func (p *permuter) at(i int64) int64 {
+	v := uint64(i)
+	for {
+		v = p.feistel(v)
+		if int64(v) < p.n {
+			return int64(v)
+		}
+	}
+}
+
+func (p *permuter) feistel(v uint64) uint64 {
+	half := p.bits / 2
+	mask := uint64(1)<<half - 1
+	l, r := v>>half, v&mask
+	for _, k := range p.keys {
+		l, r = r, l^(mix(r+k)&mask)
+	}
+	return l<<half | r
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfRangeAndDeterminism(t *testing.T) {
+	a := NewZipf(1000, 0.99, 42)
+	b := NewZipf(1000, 0.99, 42)
+	for i := 0; i < 1000; i++ {
+		va, vb := a.Next(), b.Next()
+		if va != vb {
+			t.Fatal("same-seed zipf streams diverged")
+		}
+		if va < 0 || va >= 1000 {
+			t.Fatalf("zipf value %d out of range", va)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := NewZipf(100000, 0.99, 7)
+	const n = 200000
+	top := 0
+	for i := 0; i < n; i++ {
+		if z.Next() < 100 { // hottest 0.1% of keys
+			top++
+		}
+	}
+	// Zipf(0.99): the top 0.1% should draw way above uniform share (0.1%).
+	if float64(top)/n < 0.20 {
+		t.Fatalf("top-100 share %.3f, want ≥0.20 for zipf 0.99", float64(top)/n)
+	}
+}
+
+func TestZipfLargeN(t *testing.T) {
+	z := NewZipf(100_000_000, 0.99, 3)
+	for i := 0; i < 1000; i++ {
+		if v := z.Next(); v < 0 || v >= 100_000_000 {
+			t.Fatalf("large-n zipf out of range: %d", v)
+		}
+	}
+}
+
+func TestExpRangeSkewIncreasesWithER(t *testing.T) {
+	share := func(er float64) float64 {
+		g := NewExpRange(1_000_000, er, 11)
+		const n = 100000
+		top := 0
+		for i := 0; i < n; i++ {
+			if g.Next() < 1000 {
+				top++
+			}
+		}
+		return float64(top) / n
+	}
+	s15, s25 := share(15), share(25)
+	if s25 <= s15 {
+		t.Fatalf("ER=25 top-share %.3f not above ER=15 %.3f", s25, s15)
+	}
+	if s15 == 0 {
+		t.Fatal("ER=15 never hit hot keys")
+	}
+}
+
+func TestExpRangeBounds(t *testing.T) {
+	g := NewExpRange(1000, 25, 5)
+	for i := 0; i < 10000; i++ {
+		if v := g.Next(); v < 0 || v >= 1000 {
+			t.Fatalf("exp-range value %d out of range", v)
+		}
+	}
+}
+
+func TestBCOpMix(t *testing.T) {
+	b := NewBC(BCConfig{Keys: 10000, Seed: 1})
+	counts := map[OpKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		op := b.Next()
+		counts[op.Kind]++
+		if op.Kind == OpSet && op.ValLen == 0 {
+			t.Fatal("set with zero value length")
+		}
+		if op.Key == "" {
+			t.Fatal("empty key")
+		}
+	}
+	within := func(got int, wantPct int) bool {
+		want := n * wantPct / 100
+		return got > want*9/10 && got < want*11/10
+	}
+	if !within(counts[OpGet], 50) || !within(counts[OpSet], 30) || !within(counts[OpDelete], 20) {
+		t.Fatalf("op mix = %v, want ~50/30/20 of %d", counts, n)
+	}
+}
+
+func TestBCValueSizesFromDistribution(t *testing.T) {
+	b := NewBC(BCConfig{Keys: 100, ValueSizes: []int{100, 200}, ValueWeights: []int{1, 1}, Seed: 2})
+	seen := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		if op := b.Next(); op.Kind == OpSet {
+			seen[op.ValLen]++
+		}
+	}
+	if len(seen) != 2 || seen[100] == 0 || seen[200] == 0 {
+		t.Fatalf("value sizes = %v, want both 100 and 200", seen)
+	}
+}
+
+func TestKeyNameFixedWidth(t *testing.T) {
+	if len(KeyName(0)) != len(KeyName(999_999_999)) {
+		t.Fatal("KeyName not fixed width")
+	}
+	if KeyName(5) == KeyName(6) {
+		t.Fatal("KeyName collision")
+	}
+}
+
+func TestFillRandomVisitsEveryKeyOnce(t *testing.T) {
+	const n = 5000
+	f := NewFillRandom(n, 64, 9)
+	seen := make([]bool, n)
+	count := 0
+	for {
+		op, ok := f.Next()
+		if !ok {
+			break
+		}
+		if op.Kind != OpSet || op.ValLen != 64 {
+			t.Fatalf("bad op %+v", op)
+		}
+		var idx int64
+		if _, err := fmtSscanf(op.Key, &idx); err != nil {
+			t.Fatalf("unparseable key %q", op.Key)
+		}
+		if idx < 0 || idx >= n || seen[idx] {
+			t.Fatalf("key %d out of range or repeated", idx)
+		}
+		seen[idx] = true
+		count++
+	}
+	if count != n {
+		t.Fatalf("emitted %d keys, want %d", count, n)
+	}
+	if f.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", f.Remaining())
+	}
+}
+
+func TestFillRandomNotSequential(t *testing.T) {
+	f := NewFillRandom(10000, 64, 13)
+	ascending := 0
+	var prev int64 = -1
+	for i := 0; i < 1000; i++ {
+		op, _ := f.Next()
+		var idx int64
+		fmtSscanf(op.Key, &idx)
+		if idx == prev+1 {
+			ascending++
+		}
+		prev = idx
+	}
+	if ascending > 100 {
+		t.Fatalf("%d/1000 consecutive keys ascending: not shuffled", ascending)
+	}
+}
+
+func TestPermuterBijection(t *testing.T) {
+	if err := quick.Check(func(seed uint64, sz uint16) bool {
+		n := int64(sz%2000) + 1
+		p := newPermuter(n, seed)
+		seen := make([]bool, n)
+		for i := int64(0); i < n; i++ {
+			v := p.at(i)
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fmtSscanf parses the KeyName format back to an index.
+func fmtSscanf(key string, out *int64) (int, error) {
+	var v int64
+	n := 0
+	for i := 4; i < len(key); i++ {
+		v = v*10 + int64(key[i]-'0')
+		n++
+	}
+	*out = v
+	return n, nil
+}

@@ -1,0 +1,126 @@
+package zns
+
+import (
+	"testing"
+	"time"
+
+	"znscache/internal/device"
+	"znscache/internal/flash"
+)
+
+func TestZoneStripeLanesCapBandwidth(t *testing.T) {
+	// The same full-zone write must take ~4x longer with 1 lane than 4.
+	run := func(lanes int) time.Duration {
+		cfg := testConfig()
+		cfg.ZoneStripeLanes = lanes
+		cfg.StoreData = false
+		d, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat, err := d.Write(0, nil, int(d.ZoneSize()), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return lat
+	}
+	one, four := run(1), run(4)
+	if one < four*3 {
+		t.Fatalf("1-lane zone write %v not ≳3x the 4-lane %v", one, four)
+	}
+}
+
+func TestTwoZonesAggregateBandwidth(t *testing.T) {
+	// Two half-device writes to different zones issued at the same instant
+	// overlap; the later completion is well under their serial sum.
+	cfg := testConfig()
+	cfg.StoreData = false
+	d, _ := New(cfg)
+	l1, err := d.Write(0, nil, int(d.ZoneSize()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := d.Write(0, nil, int(d.ZoneSize()), d.ZoneSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2 >= l1+l1 {
+		t.Fatalf("concurrent zone writes serialized: %v then %v", l1, l2)
+	}
+}
+
+func TestWriteAfterFinishRejected(t *testing.T) {
+	d := newTestDev(t)
+	d.Write(0, nil, device.SectorSize, 0)
+	d.Finish(0, 0)
+	if _, err := d.Write(0, nil, device.SectorSize, device.SectorSize); err == nil {
+		t.Fatal("write into finished zone accepted")
+	}
+	// Reset makes it writable again.
+	if _, err := d.Reset(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(0, nil, device.SectorSize, 0); err != nil {
+		t.Fatalf("write after reset: %v", err)
+	}
+}
+
+func TestResetWhileOpenReleasesSlot(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxOpenZones = 1
+	d, _ := New(cfg)
+	d.Write(0, nil, device.SectorSize, 0)
+	if d.OpenZones() != 1 {
+		t.Fatal("zone not open")
+	}
+	d.Reset(0, 0)
+	// The slot must be free for another zone now.
+	if _, err := d.Write(0, nil, device.SectorSize, d.ZoneSize()); err != nil {
+		t.Fatalf("open after reset: %v", err)
+	}
+}
+
+func TestMisalignedZoneIO(t *testing.T) {
+	d := newTestDev(t)
+	if _, err := d.Write(0, nil, 100, 0); err == nil {
+		t.Fatal("unaligned write accepted")
+	}
+	buf := make([]byte, 100)
+	if _, err := d.Read(0, buf, 0); err == nil {
+		t.Fatal("unaligned read accepted")
+	}
+}
+
+func TestZoneWearTracksResets(t *testing.T) {
+	d := newTestDev(t)
+	for i := 0; i < 3; i++ {
+		d.Write(0, nil, int(d.ZoneSize()), 0)
+		d.Reset(0, 0)
+	}
+	zi, _ := d.ZoneInfo(0)
+	if zi.Resets != 3 {
+		t.Fatalf("zone resets = %d, want 3", zi.Resets)
+	}
+	// Each reset erased the zone's 4 written blocks.
+	if got := d.Array().EraseCount(0); got != 3 {
+		t.Fatalf("block erase count = %d, want 3", got)
+	}
+}
+
+func TestDefaultLaneClamp(t *testing.T) {
+	cfg := Config{
+		Geometry: flash.Geometry{
+			Channels: 1, DiesPerChan: 1, BlocksPerDie: 4,
+			PagesPerBlock: 4, PageSize: device.SectorSize,
+		},
+		BlocksPerZone:   2,
+		ZoneStripeLanes: 16, // above BlocksPerZone: must clamp
+	}
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(0, nil, int(d.ZoneSize()), 0); err != nil {
+		t.Fatalf("write on clamped lanes: %v", err)
+	}
+}
