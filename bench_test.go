@@ -15,10 +15,12 @@ package znscache
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"znscache/internal/cache"
 	"znscache/internal/harness"
+	"znscache/internal/sim"
 	"znscache/internal/workload"
 )
 
@@ -247,6 +249,49 @@ func BenchmarkAblationGCThresholds(b *testing.B) {
 }
 
 // --- Simulator micro-benchmarks (real wall-clock costs) ---
+
+// BenchmarkShardedScaling measures simulator throughput of the concurrent
+// frontend as the shard count grows, at constant total capacity (96 zones
+// split across shards) under parallel clients. On a multi-core machine
+// ops/s should scale near-linearly 1→4 shards because shards share no
+// locks, clocks, or stores; on a single core all points collapse to the
+// serial cost plus sharding overhead. EXPERIMENTS.md records a run.
+func BenchmarkShardedScaling(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			c, err := OpenSharded(ShardedConfig{
+				Config: Config{Zones: 96},
+				Shards: shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			keys := make([]string, 8192)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("key-%08d", i)
+				if err := c.SetSized(keys[i], 4096); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var goroutineID atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := sim.NewRand(goroutineID.Add(1))
+				i := 0
+				for pb.Next() {
+					k := keys[rng.Intn(len(keys))]
+					if i%4 == 0 {
+						c.SetSized(k, 4096) //nolint:errcheck
+					} else {
+						c.Get(k) //nolint:errcheck
+					}
+					i++
+				}
+			})
+		})
+	}
+}
 
 func BenchmarkEngineSetGet(b *testing.B) {
 	c, err := Open(Config{Zones: 12})

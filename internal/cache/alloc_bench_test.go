@@ -1,0 +1,97 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+// sealedGetCache builds an engine whose early regions are all sealed, and
+// returns keys that live in sealed regions, so Get exercises the device-read
+// path (the sector-aligned scratch buffer) on every call.
+func sealedGetCache(b *testing.B, trackValues bool) (*Cache, []string) {
+	b.Helper()
+	st := newMemStore(32, 256<<10)
+	c, err := New(Config{Store: st, TrackValues: trackValues})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var keys []string
+	val := make([]byte, 4000)
+	// Fill ~24 of 32 regions so nothing is evicted and everything but the
+	// open region seals.
+	for i := 0; i < 24*60; i++ {
+		k := fmt.Sprintf("key-%06d", i)
+		var err error
+		if trackValues {
+			err = c.Set(k, val, 0)
+		} else {
+			err = c.Set(k, nil, len(val))
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		keys = append(keys, k)
+	}
+	c.Drain()
+	// Keep only keys outside the open region.
+	sealed := keys[:0]
+	for _, k := range keys {
+		if e, ok := c.index[k]; ok && int(e.region) != c.open {
+			sealed = append(sealed, k)
+		}
+	}
+	if len(sealed) == 0 {
+		b.Fatal("no sealed keys")
+	}
+	return c, sealed
+}
+
+// BenchmarkSealedGetAlloc measures per-Get allocations on the sealed-read
+// path with TrackValues on. Before the sync.Pool scratch buffer this path
+// allocated the full sector-aligned read span (up to a region) per Get; now
+// only the returned value copy allocates. EXPERIMENTS.md records numbers.
+func BenchmarkSealedGetAlloc(b *testing.B) {
+	c, keys := sealedGetCache(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := c.Get(keys[i%len(keys)]); err != nil || !ok {
+			b.Fatalf("Get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkSealedGetMetadataOnly is the same path with TrackValues off
+// (the harness's mode): no scratch buffer, no value copy.
+func BenchmarkSealedGetMetadataOnly(b *testing.B) {
+	c, keys := sealedGetCache(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := c.Get(keys[i%len(keys)]); err != nil || !ok {
+			b.Fatalf("Get: ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+// BenchmarkSetInsertAlloc measures per-Set allocations on the fill path:
+// the packed key log amortizes to zero steady-state allocations where the
+// old []string regrew per region generation.
+func BenchmarkSetInsertAlloc(b *testing.B) {
+	st := newMemStore(32, 256<<10)
+	c, err := New(Config{Store: st})
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]string, 4096)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%06d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Set(keys[i%len(keys)], nil, 4096); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

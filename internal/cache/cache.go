@@ -26,6 +26,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 
 	"znscache/internal/device"
@@ -137,7 +138,17 @@ type Config struct {
 	CPU CPUModel
 	// Clock is the virtual clock; a fresh one is created if nil.
 	Clock *sim.Clock
+	// FillLogCap bounds the Figure 3 fill log to the most recent entries so
+	// long runs stop growing memory linearly: 0 uses the default (4096,
+	// ample for every experiment in the harness), a negative value keeps the
+	// log unbounded. FillCount and EvictionOnset stay exact regardless.
+	FillLogCap int
 }
+
+// defaultFillLogCap bounds the fill log unless Config.FillLogCap overrides
+// it. 4096 records cover the longest harness experiment (~1300 region fills
+// in Figure 3's small-region arm) with room to spare.
+const defaultFillLogCap = 4096
 
 // entry is one index record: where an item lives, plus a saturating
 // access counter driving the reinsertion policy.
@@ -170,9 +181,9 @@ const (
 // regionMeta tracks one region slot.
 type regionMeta struct {
 	state     regionState
-	keys      []string // insertion order, for eviction cleanup
-	fill      int64    // bytes appended
-	live      int      // items still indexed
+	keys      keyLog // insertion order, for eviction cleanup
+	fill      int64  // bytes appended
+	live      int    // items still indexed
 	flushDone time.Duration
 	openedAt  time.Duration
 	elem      *list.Element // position in eviction order (sealed/flushing)
@@ -222,7 +233,31 @@ type Cache struct {
 	inflight    []int
 	maxInflight int
 
-	fillLog []FillRecord
+	// fillLog is a bounded ring over the most recent FillRecords (cap
+	// fillCap; unbounded when fillCap <= 0). fillStart is the ring's oldest
+	// slot once it has wrapped; fillCount and firstEvictSeq summarize the
+	// whole history so trimming never loses the eviction-onset answer.
+	fillLog       []FillRecord
+	fillStart     int
+	fillCap       int
+	fillCount     uint64
+	firstEvictSeq uint64 // noEvictSeq until the first Evicted record
+
+	// readBuf pools the sector-aligned scratch buffers sealed-region Gets
+	// read into. The payload is copied out before the buffer is returned, so
+	// pooling is invisible to callers; it removes the largest per-Get
+	// allocation (up to a region of bytes per lookup).
+	readBuf sync.Pool
+
+	// orderVer counts mutations of the eviction order; coldSet caches, per
+	// (orderVer, coldFrac), which regions sit in the cold tail that
+	// RegionDroppable reports on. GC probes ask about many regions between
+	// order mutations, so the O(regions) tail walk amortizes to O(1).
+	orderVer     uint64
+	coldVer      uint64
+	coldFrac     float64
+	coldSet      []bool
+	coldSetValid bool
 
 	// metrics
 	hitRatio    stats.HitRatio
@@ -267,17 +302,22 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.Admission == nil {
 		cfg.Admission = AdmitAll{}
 	}
+	if cfg.FillLogCap == 0 {
+		cfg.FillLogCap = defaultFillLogCap
+	}
 	n := cfg.Store.NumRegions()
 	c := &Cache{
-		cfg:     cfg,
-		store:   cfg.Store,
-		clock:   cfg.Clock,
-		cpu:     cfg.CPU,
-		index:   make(map[string]entry),
-		regions: make([]regionMeta, n),
-		order:   list.New(),
-		getLat:  stats.NewHistogram(),
-		setLat:  stats.NewHistogram(),
+		cfg:           cfg,
+		store:         cfg.Store,
+		clock:         cfg.Clock,
+		cpu:           cfg.CPU,
+		index:         make(map[string]entry),
+		regions:       make([]regionMeta, n),
+		order:         list.New(),
+		getLat:        stats.NewHistogram(),
+		setLat:        stats.NewHistogram(),
+		fillCap:       cfg.FillLogCap,
+		firstEvictSeq: noEvictSeq,
 	}
 	// One buffer is always the one being filled; only the remainder can
 	// hold in-flight flushes. A single zone-sized buffer therefore flushes
@@ -305,7 +345,7 @@ func (c *Cache) RegionSize() int64 { return c.store.RegionSize() }
 func (c *Cache) openRegion(id int) {
 	m := &c.regions[id]
 	m.state = regionOpen
-	m.keys = m.keys[:0]
+	m.keys.reset()
 	m.fill = 0
 	m.live = 0
 	m.openedAt = c.clock.Now()
@@ -390,7 +430,7 @@ func (c *Cache) appendItem(key string, value []byte, valLen int) {
 	c.clock.Advance(c.cpu.AppendItem + c.cpu.AppendPerKiB*time.Duration((size+1023)/1024))
 	m.fill += size
 	m.live++
-	m.keys = append(m.keys, key)
+	m.keys.append(key)
 	c.index[key] = entry{
 		region: int32(c.open),
 		offset: off,
@@ -415,7 +455,7 @@ func (c *Cache) rollRegion() error {
 	m := &c.regions[id]
 
 	// Figure 3's measurement: time to fill this buffer, stall-inclusive.
-	c.fillLog = append(c.fillLog, FillRecord{
+	c.recordFill(FillRecord{
 		Seq:      c.seq,
 		Duration: c.clock.Now() - m.openedAt,
 		Evicted:  len(c.free) == 0,
@@ -449,6 +489,7 @@ func (c *Cache) rollRegion() error {
 	m.state = regionFlushing
 	m.flushDone = now + lat
 	m.elem = c.order.PushFront(id)
+	c.orderVer++
 	if c.maxInflight == 0 {
 		// No spare buffer: the flush completes synchronously.
 		c.completeFlush(id)
@@ -526,6 +567,7 @@ func (c *Cache) evictVictim() (int, []reinsertItem, error) {
 		c.completeFlush(id)
 	}
 	c.order.Remove(back)
+	c.orderVer++
 	m.elem = nil
 
 	// Snapshot the victim's payload once if reinsertion may need bytes.
@@ -541,26 +583,33 @@ func (c *Cache) evictVictim() (int, []reinsertItem, error) {
 
 	// Index cleanup under the shared lock: the insertion-time spike of
 	// Figure 3a. Zone-sized regions remove tens of thousands of keys here.
+	// The m[string(b)] / delete(m, string(b)) forms below are recognized by
+	// the compiler and do not allocate; string copies are made only for keys
+	// that outlive the eviction.
 	var dropped []string
 	var reinsert []reinsertItem
-	for _, k := range m.keys {
-		if e, ok := c.index[k]; ok && int(e.region) == id {
-			delete(c.index, k)
-			if c.cfg.ReinsertHits > 0 && e.hits >= c.cfg.ReinsertHits {
-				it := reinsertItem{key: k, valLen: int(e.valLen)}
-				if regionBytes != nil {
-					base := int64(e.offset) + itemHeaderSize + int64(e.keyLen)
-					if base+int64(e.valLen) <= int64(len(regionBytes)) {
-						it.value = append([]byte(nil), regionBytes[base:base+int64(e.valLen)]...)
-					}
-				}
-				reinsert = append(reinsert, it)
-			} else {
-				dropped = append(dropped, k)
-			}
+	wantDropped := c.EvictedKeys != nil
+	m.keys.each(func(kb []byte) bool {
+		e, ok := c.index[string(kb)]
+		if !ok || int(e.region) != id {
+			return true
 		}
-	}
-	c.clock.Advance(c.cpu.EvictPerKey * time.Duration(len(m.keys)))
+		delete(c.index, string(kb))
+		if c.cfg.ReinsertHits > 0 && e.hits >= c.cfg.ReinsertHits {
+			it := reinsertItem{key: string(kb), valLen: int(e.valLen)}
+			if regionBytes != nil {
+				base := int64(e.offset) + itemHeaderSize + int64(e.keyLen)
+				if base+int64(e.valLen) <= int64(len(regionBytes)) {
+					it.value = append([]byte(nil), regionBytes[base:base+int64(e.valLen)]...)
+				}
+			}
+			reinsert = append(reinsert, it)
+		} else if wantDropped {
+			dropped = append(dropped, string(kb))
+		}
+		return true
+	})
+	c.clock.Advance(c.cpu.EvictPerKey * time.Duration(m.keys.len()))
 
 	now := c.clock.Now()
 	lat, err := c.store.EvictRegion(now, id)
@@ -644,12 +693,15 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 			alignedEnd = c.store.RegionSize()
 		}
 		n := int(alignedEnd - alignedStart)
+		var pv *[]byte
 		var p []byte
 		if c.cfg.TrackValues {
-			p = make([]byte, n)
+			pv = c.getScratch(n)
+			p = *pv
 		}
 		lat, err := c.store.ReadRegion(c.clock.Now(), int(e.region), p, n, alignedStart)
 		if err != nil {
+			c.putScratch(pv)
 			return nil, false, fmt.Errorf("cache: read region %d: %w", e.region, err)
 		}
 		c.clock.Advance(lat)
@@ -660,7 +712,9 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 			// Verify the on-flash header checksum: corruption in the store,
 			// a GC migration, or recovery metadata would surface here.
 			want := binary.LittleEndian.Uint64(p[head+8 : head+16])
-			if got := itemChecksum(key, val); got != want {
+			got := itemChecksum(key, val)
+			c.putScratch(pv)
+			if got != want {
 				return nil, false, fmt.Errorf("%w: key %q", ErrChecksum, key)
 			}
 		}
@@ -670,7 +724,10 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 		return nil, false, fmt.Errorf("cache: index points to free region %d", e.region)
 	}
 	if c.cfg.Policy == LRU && m.elem != nil {
-		c.order.MoveToFront(m.elem)
+		if m.elem != c.order.Front() {
+			c.order.MoveToFront(m.elem)
+			c.orderVer++
+		}
 	}
 	if e.hits < ^uint8(0) {
 		e.hits++
@@ -681,12 +738,48 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 	return val, true, nil
 }
 
+// getScratch returns a sealed-read scratch buffer of length n, reusing a
+// pooled buffer when possible. The same *[]byte box cycles through the pool
+// so steady-state Gets allocate nothing for the read span.
+func (c *Cache) getScratch(n int) *[]byte {
+	v, _ := c.readBuf.Get().(*[]byte)
+	if v == nil {
+		b := make([]byte, n)
+		return &b
+	}
+	if cap(*v) < n {
+		*v = make([]byte, n)
+	}
+	*v = (*v)[:n]
+	return v
+}
+
+// putScratch returns a buffer box obtained from getScratch to the pool. A
+// nil box (metadata-only read) is ignored.
+func (c *Cache) putScratch(v *[]byte) {
+	if v != nil {
+		c.readBuf.Put(v)
+	}
+}
+
 // Contains reports whether key is present without touching recency or
-// latency accounting beyond the index lookup.
+// latency accounting beyond the index lookup. TTL-expired items count as
+// absent and are lazily removed, exactly as Get treats them.
 func (c *Cache) Contains(key string) bool {
 	c.clock.Advance(c.cpu.IndexLookup)
-	_, ok := c.index[key]
-	return ok
+	e, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	if e.expireAt != 0 && c.clock.Now() >= time.Duration(e.expireAt)*time.Second {
+		delete(c.index, key)
+		if m := &c.regions[e.region]; m.live > 0 {
+			m.live--
+		}
+		c.expirations.Inc()
+		return false
+	}
+	return true
 }
 
 // Delete removes key from the index. The flash copy stays until its region
@@ -721,13 +814,27 @@ func (c *Cache) RegionDroppable(id int, coldFrac float64) bool {
 	if m.state != regionSealed || m.elem == nil {
 		return false
 	}
-	limit := int(float64(c.order.Len()) * coldFrac)
-	for e, i := c.order.Back(), 0; e != nil && i < limit; e, i = e.Prev(), i+1 {
-		if e.Value.(int) == id {
-			return true
+	// The cold tail only changes when the eviction order does, but the GC
+	// probes every candidate region between mutations. Rebuild the
+	// membership set once per (order version, coldFrac) and answer each
+	// probe with an O(1) lookup instead of walking the list from the back.
+	if !c.coldSetValid || c.coldVer != c.orderVer || c.coldFrac != coldFrac {
+		if c.coldSet == nil {
+			c.coldSet = make([]bool, len(c.regions))
+		} else {
+			for i := range c.coldSet {
+				c.coldSet[i] = false
+			}
 		}
+		limit := int(float64(c.order.Len()) * coldFrac)
+		for e, i := c.order.Back(), 0; e != nil && i < limit; e, i = e.Prev(), i+1 {
+			c.coldSet[e.Value.(int)] = true
+		}
+		c.coldVer = c.orderVer
+		c.coldFrac = coldFrac
+		c.coldSetValid = true
 	}
-	return false
+	return c.coldSet[id]
 }
 
 // InvalidateRegion force-evicts region id without a store call: the
@@ -742,19 +849,24 @@ func (c *Cache) InvalidateRegion(id int) {
 		return
 	}
 	var dropped []string
-	for _, k := range m.keys {
-		if e, ok := c.index[k]; ok && int(e.region) == id {
-			delete(c.index, k)
-			dropped = append(dropped, k)
+	wantDropped := c.EvictedKeys != nil
+	m.keys.each(func(kb []byte) bool {
+		if e, ok := c.index[string(kb)]; ok && int(e.region) == id {
+			delete(c.index, string(kb))
+			if wantDropped {
+				dropped = append(dropped, string(kb))
+			}
 		}
-	}
-	c.clock.Advance(c.cpu.EvictPerKey * time.Duration(len(m.keys)))
+		return true
+	})
+	c.clock.Advance(c.cpu.EvictPerKey * time.Duration(m.keys.len()))
 	if m.elem != nil {
 		c.order.Remove(m.elem)
+		c.orderVer++
 		m.elem = nil
 	}
 	m.state = regionFree
-	m.keys = m.keys[:0]
+	m.keys.reset()
 	m.live = 0
 	c.free = append(c.free, id)
 	c.drops.Inc()
@@ -763,8 +875,49 @@ func (c *Cache) InvalidateRegion(id int) {
 	}
 }
 
-// FillLog returns the per-region buffer fill records (Figure 3).
-func (c *Cache) FillLog() []FillRecord { return c.fillLog }
+// noEvictSeq marks firstEvictSeq as "no eviction recorded yet".
+const noEvictSeq = ^uint64(0)
+
+// recordFill appends one FillRecord, overwriting the oldest entry once the
+// configured ring capacity is reached.
+func (c *Cache) recordFill(r FillRecord) {
+	if r.Evicted && c.firstEvictSeq == noEvictSeq {
+		c.firstEvictSeq = r.Seq
+	}
+	c.fillCount++
+	if c.fillCap > 0 && len(c.fillLog) == c.fillCap {
+		c.fillLog[c.fillStart] = r
+		c.fillStart = (c.fillStart + 1) % c.fillCap
+		return
+	}
+	c.fillLog = append(c.fillLog, r)
+}
+
+// FillLog returns the retained per-region buffer fill records (Figure 3) in
+// chronological order. With a bounded Config.FillLogCap only the most recent
+// records survive; the returned slice must not be modified and is valid
+// until the next Set.
+func (c *Cache) FillLog() []FillRecord {
+	if c.fillStart == 0 {
+		return c.fillLog
+	}
+	out := make([]FillRecord, 0, len(c.fillLog))
+	out = append(out, c.fillLog[c.fillStart:]...)
+	out = append(out, c.fillLog[:c.fillStart]...)
+	return out
+}
+
+// FillCount returns how many region fills have been recorded over the
+// cache's lifetime, including records trimmed from a bounded fill log.
+func (c *Cache) FillCount() uint64 { return c.fillCount }
+
+// EvictionOnset returns the sequence number of the first region fill that
+// required an eviction, and whether eviction has started. It is exact even
+// when the bounded fill log has trimmed the onset record, and turns the
+// harness's per-Set onset scan into an O(1) query.
+func (c *Cache) EvictionOnset() (uint64, bool) {
+	return c.firstEvictSeq, c.firstEvictSeq != noEvictSeq
+}
 
 // Drain completes all in-flight flushes (used before reading stats so the
 // simulated time covers all issued work).

@@ -1,0 +1,209 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"znscache/internal/stats"
+)
+
+// Sharded is a concurrency-safe frontend over N independent Cache engines.
+// The keyspace is partitioned by key hash (FNV-1a), so every key always
+// lands on the same shard; each shard owns a full engine — its own region
+// store partition, virtual clock, and mutex — and goroutines touching
+// different shards never contend. This is CacheLib's own recipe (a sharded
+// index in front of Navy) applied to the whole engine, and the concurrency
+// model the follow-up ZNS work exploits: independent writers over disjoint
+// zone sets scale with the device's zone parallelism.
+//
+// Determinism is preserved per shard: a key's shard depends only on the key
+// and the shard count, and each shard serializes its own operations under
+// its mutex against its own clock. Replaying the same per-shard operation
+// sequences therefore yields byte-identical per-shard (and merged) stats
+// regardless of goroutine interleaving across shards.
+type Sharded struct {
+	shards []shard
+}
+
+// shard pairs one engine with the mutex that serializes access to it. The
+// engine itself stays single-threaded (its simulation contract); the mutex
+// is the concurrency boundary.
+type shard struct {
+	mu sync.Mutex
+	c  *Cache
+}
+
+// NewSharded builds a sharded frontend over the given engines. Every engine
+// must be independent: its own RegionStore and its own Clock. Sharing a
+// clock between shards would serialize them through the clock mutex and make
+// merged timings depend on goroutine interleaving, so it is rejected.
+func NewSharded(engines []*Cache) (*Sharded, error) {
+	if len(engines) == 0 {
+		return nil, fmt.Errorf("%w: sharded frontend needs at least 1 engine", ErrBadConfig)
+	}
+	seen := make(map[interface{}]int, len(engines))
+	for i, e := range engines {
+		if e == nil {
+			return nil, fmt.Errorf("%w: nil engine for shard %d", ErrBadConfig, i)
+		}
+		if j, dup := seen[e.Clock()]; dup {
+			return nil, fmt.Errorf("%w: shards %d and %d share a clock", ErrBadConfig, j, i)
+		}
+		seen[e.Clock()] = i
+		if j, dup := seen[e.store]; dup {
+			return nil, fmt.Errorf("%w: shards %d and %d share a store", ErrBadConfig, j, i)
+		}
+		seen[e.store] = i
+	}
+	s := &Sharded{shards: make([]shard, len(engines))}
+	for i, e := range engines {
+		s.shards[i].c = e
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// ShardFor returns the shard index key maps to: FNV-1a over the key bytes,
+// reduced modulo the shard count. Inlined (no hash.Hash allocation) because
+// it runs on every operation.
+func (s *Sharded) ShardFor(key string) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return int(h % uint64(len(s.shards)))
+}
+
+// Shard exposes shard i's engine for setup and inspection. The returned
+// engine is not synchronized; do not call it while other goroutines use the
+// frontend.
+func (s *Sharded) Shard(i int) *Cache { return s.shards[i].c }
+
+// ShardSeed derives shard i's workload seed from a run seed (splitmix64
+// step), so seeded replays split deterministically across shards.
+func ShardSeed(seed uint64, i int) uint64 {
+	z := seed + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Set inserts or replaces key on its shard.
+func (s *Sharded) Set(key string, value []byte, valLen int) error {
+	sh := &s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Set(key, value, valLen)
+}
+
+// SetTTL is Set with a time-to-live on the owning shard's virtual clock.
+func (s *Sharded) SetTTL(key string, value []byte, valLen int, ttl time.Duration) error {
+	sh := &s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.SetTTL(key, value, valLen, ttl)
+}
+
+// Get looks up key on its shard.
+func (s *Sharded) Get(key string) ([]byte, bool, error) {
+	sh := &s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Get(key)
+}
+
+// Contains reports whether key is present (TTL-expired items count as
+// absent, as in Cache.Contains).
+func (s *Sharded) Contains(key string) bool {
+	sh := &s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Contains(key)
+}
+
+// Delete removes key from its shard.
+func (s *Sharded) Delete(key string) bool {
+	sh := &s.shards[s.ShardFor(key)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Delete(key)
+}
+
+// Len returns the total number of indexed items across shards.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.c.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Drain completes all in-flight flushes on every shard.
+func (s *Sharded) Drain() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.c.Drain()
+		sh.mu.Unlock()
+	}
+}
+
+// ShardStats snapshots shard i's engine counters under the shard lock, so
+// it is safe to call while other goroutines use the frontend.
+func (s *Sharded) ShardStats(i int) Stats {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.c.Stats()
+}
+
+// Stats merges all shards' counters into one snapshot. Counters sum; the
+// latency distributions are merged at histogram resolution (exact — shards
+// share bucket boundaries); HitRatio is recomputed from the summed hits and
+// misses; SimulatedTime is the furthest shard clock, the makespan of a
+// parallel replay.
+func (s *Sharded) Stats() Stats {
+	getH := stats.NewHistogram()
+	setH := stats.NewHistogram()
+	var out Stats
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		st := sh.c.Stats()
+		getH.Merge(sh.c.GetLatencyHistogram())
+		setH.Merge(sh.c.SetLatencyHistogram())
+		sh.mu.Unlock()
+		out.Gets += st.Gets
+		out.Sets += st.Sets
+		out.Deletes += st.Deletes
+		out.Hits += st.Hits
+		out.Misses += st.Misses
+		out.Evictions += st.Evictions
+		out.Flushes += st.Flushes
+		out.Reinsertions += st.Reinsertions
+		out.Expirations += st.Expirations
+		out.CoDesignDrops += st.CoDesignDrops
+		out.AdmitRejects += st.AdmitRejects
+		out.HostWriteBytes += st.HostWriteBytes
+		if st.SimulatedTime > out.SimulatedTime {
+			out.SimulatedTime = st.SimulatedTime
+		}
+	}
+	if out.Hits+out.Misses > 0 {
+		out.HitRatio = float64(out.Hits) / float64(out.Hits+out.Misses)
+	}
+	out.GetLatency = getH.Snapshot()
+	out.SetLatency = setH.Snapshot()
+	return out
+}

@@ -76,7 +76,7 @@ func (c *Cache) Snapshot() ([]byte, error) {
 		m := &c.regions[i]
 		s.Regions[i] = snapRegion{
 			State: m.state,
-			Keys:  append([]string(nil), m.keys...),
+			Keys:  m.keys.strings(),
 			Fill:  m.fill,
 			Live:  m.live,
 		}
@@ -121,7 +121,7 @@ func Restore(cfg Config, snapshot []byte) (*Cache, error) {
 		m := &c.regions[i]
 		src := s.Regions[i]
 		m.state = src.State
-		m.keys = append(m.keys[:0], src.Keys...)
+		m.keys.setStrings(src.Keys)
 		m.fill = src.Fill
 		m.live = src.Live
 		m.elem = nil

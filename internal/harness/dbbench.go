@@ -203,17 +203,32 @@ func runDBBench(s Scheme, er float64, p Fig5Params, zoneCount int) (Fig5Row, err
 	return row, nil
 }
 
-// RunFig5 reruns Figure 5: all four schemes at each ER value.
+// RunFig5 reruns Figure 5: all four schemes at each ER value. Every
+// (scheme, ER) cell is an independent DB + cache stack, so the cells fan
+// across the worker pool; row order matches the serial sweep.
 func RunFig5(p Fig5Params) ([]Fig5Row, error) {
-	var out []Fig5Row
+	type point struct {
+		er float64
+		s  Scheme
+	}
+	var points []point
 	for _, er := range p.ERValues {
 		for _, s := range []Scheme{BlockCache, FileCache, ZoneCache, RegionCache} {
-			row, err := runDBBench(s, er, p, 0)
-			if err != nil {
-				return nil, fmt.Errorf("fig5 %v er=%v: %w", s, er, err)
-			}
-			out = append(out, row)
+			points = append(points, point{er, s})
 		}
+	}
+	out := make([]Fig5Row, len(points))
+	err := forEachPoint(len(points), func(i int) error {
+		pt := points[i]
+		row, err := runDBBench(pt.s, pt.er, p, 0)
+		if err != nil {
+			return fmt.Errorf("fig5 %v er=%v: %w", pt.s, pt.er, err)
+		}
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -229,18 +244,24 @@ type Table2Row struct {
 // RunTable2 reruns Table 2: Zone-Cache under growing cache sizes at ER 25.
 // The paper sweeps 4–8 GiB, i.e. ~4–8 zones.
 func RunTable2(p Fig5Params) ([]Table2Row, error) {
-	var out []Table2Row
-	for zones := 4; zones <= 8; zones++ {
+	const minZones, maxZones = 4, 8
+	out := make([]Table2Row, maxZones-minZones+1)
+	err := forEachPoint(len(out), func(i int) error {
+		zones := minZones + i
 		row, err := runDBBench(ZoneCache, 25, p, zones)
 		if err != nil {
-			return nil, fmt.Errorf("table2 zones=%d: %w", zones, err)
+			return fmt.Errorf("table2 zones=%d: %w", zones, err)
 		}
-		out = append(out, Table2Row{
+		out[i] = Table2Row{
 			Zones:     zones,
 			CacheGiB:  float64(zones), // 1 zone ≈ 1 GiB at paper scale
 			OpsPerSec: row.OpsPerSec,
 			HitRatio:  row.SecondaryHitRatio,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -110,15 +110,18 @@ func DefaultFig2() Fig2Params {
 	}
 }
 
-// RunFig2 reruns Figure 2 for all four schemes.
+// RunFig2 reruns Figure 2 for all four schemes. The schemes are independent
+// points (own device stack, own clock, same seed), so they run across a
+// worker pool; output stays in presentation order.
 func RunFig2(p Fig2Params) ([]SchemeResult, error) {
 	hw := DefaultHW(p.Zones)
 	zoneBytes := hw.ZoneBytes()
 	deviceBytes := int64(hw.actualZones()) * zoneBytes
 	cacheBytes := deviceBytes * 20 / 25 // 20 GiB of 25 at paper scale
 
-	var out []SchemeResult
-	for _, s := range AllSchemes {
+	out := make([]SchemeResult, len(AllSchemes))
+	err := forEachPoint(len(AllSchemes), func(i int) error {
+		s := AllSchemes[i]
 		cfg := RigConfig{
 			Scheme:     s,
 			HW:         hw,
@@ -135,9 +138,13 @@ func RunFig2(p Fig2Params) ([]SchemeResult, error) {
 		}
 		rig, err := Build(cfg)
 		if err != nil {
-			return nil, fmt.Errorf("fig2 %v: %w", s, err)
+			return fmt.Errorf("fig2 %v: %w", s, err)
 		}
-		out = append(out, RunBC(rig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed))
+		out[i] = RunBC(rig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -183,8 +190,9 @@ func RunFig3(p Fig3Params) ([]Fig3Result, error) {
 		{"large (zone-sized)", ZoneCache, hw.ZoneBytes()},
 		{"small (16 MiB-equivalent)", RegionCache, 256 << 10},
 	}
-	var out []Fig3Result
-	for _, c := range configs {
+	out := make([]Fig3Result, len(configs))
+	err := forEachPoint(len(configs), func(ci int) error {
+		c := configs[ci]
 		rc := RigConfig{
 			Scheme:      c.scheme,
 			HW:          hw,
@@ -196,31 +204,26 @@ func RunFig3(p Fig3Params) ([]Fig3Result, error) {
 		}
 		rig, err := Build(rc)
 		if err != nil {
-			return nil, fmt.Errorf("fig3 %s: %w", c.label, err)
+			return fmt.Errorf("fig3 %s: %w", c.label, err)
 		}
 		// Set-only fill with fixed-size values (the paper fills the region
 		// buffer with inserts and measures fill time per region sequence).
+		// The engine tracks eviction onset itself, so the stop condition is
+		// O(1) per insert instead of a fill-log rescan.
 		gen := workload.NewZipf(1<<40, 0.99, p.Seed) // effectively unique keys
 		i := 0
 		for {
 			key := fmt.Sprintf("fill-%016d-%08d", gen.Next(), i)
 			i++
 			if err := rig.Engine.Set(key, nil, p.ValueLen); err != nil {
-				return nil, fmt.Errorf("fig3 %s set: %w", c.label, err)
+				return fmt.Errorf("fig3 %s set: %w", c.label, err)
 			}
-			log := rig.Engine.FillLog()
-			onset := -1
-			for j, r := range log {
-				if r.Evicted {
-					onset = j
-					break
-				}
-			}
-			if onset >= 0 && len(log)-onset >= p.RegionsAfterOnset {
+			if onset, ok := rig.Engine.EvictionOnset(); ok &&
+				rig.Engine.FillCount()-onset >= uint64(p.RegionsAfterOnset) {
 				break
 			}
 			if i > 20_000_000 {
-				return nil, fmt.Errorf("fig3 %s: eviction never started", c.label)
+				return fmt.Errorf("fig3 %s: eviction never started", c.label)
 			}
 		}
 		log := rig.Engine.FillLog()
@@ -245,7 +248,11 @@ func RunFig3(p Fig3Params) ([]Fig3Result, error) {
 		if afterN > 0 {
 			res.MeanAfter = afterSum / time.Duration(afterN)
 		}
-		out = append(out, res)
+		out[ci] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -295,43 +302,51 @@ func DefaultFig4() Fig4Params {
 func RunFig4Table1(p Fig4Params) ([]Fig4Row, error) {
 	hw := DefaultHW(p.Zones)
 	deviceBytes := int64(hw.actualZones()) * hw.ZoneBytes()
-	var out []Fig4Row
 
-	// Zone-Cache: whole device, no OP.
-	zoneRig, err := Build(RigConfig{
-		Scheme: ZoneCache, HW: hw, ZoneCount: hw.actualZones(),
-		Policy: cache.LRU, PolicySet: true,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("fig4 zone: %w", err)
+	// Enumerate the sweep's (scheme, OP) points first, then fan them across
+	// the worker pool; each point builds its own rig and clock, so the rows
+	// replay bit-identically to the serial sweep, in the same order.
+	type point struct {
+		scheme Scheme
+		op     float64
 	}
-	out = append(out, Fig4Row{
-		Scheme: ZoneCache, OPRatio: 0,
-		Result: RunBC(zoneRig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed),
-	})
-
+	points := []point{{ZoneCache, 0}} // whole device, no OP
 	for _, s := range []Scheme{FileCache, RegionCache} {
 		for _, op := range p.OPRatios {
-			cfg := RigConfig{
-				Scheme:     s,
-				HW:         hw,
-				CacheBytes: int64(float64(deviceBytes)*(1-op)/float64(256<<10)) * (256 << 10),
-				OPRatio:    op,
-				Policy:     cache.LRU,
-				PolicySet:  true,
-				// Figure 4 states the OP directly; fold all FS overhead
-				// into it so File and Region see the same cache size.
-				FSMetaOverheadSet: true,
-			}
-			rig, err := Build(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("fig4 %v op=%v: %w", s, op, err)
-			}
-			out = append(out, Fig4Row{
-				Scheme: s, OPRatio: op,
-				Result: RunBC(rig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed),
-			})
+			points = append(points, point{s, op})
 		}
+	}
+
+	out := make([]Fig4Row, len(points))
+	err := forEachPoint(len(points), func(i int) error {
+		pt := points[i]
+		cfg := RigConfig{
+			Scheme:    pt.scheme,
+			HW:        hw,
+			Policy:    cache.LRU,
+			PolicySet: true,
+		}
+		if pt.scheme == ZoneCache {
+			cfg.ZoneCount = hw.actualZones()
+		} else {
+			cfg.CacheBytes = int64(float64(deviceBytes)*(1-pt.op)/float64(256<<10)) * (256 << 10)
+			cfg.OPRatio = pt.op
+			// Figure 4 states the OP directly; fold all FS overhead
+			// into it so File and Region see the same cache size.
+			cfg.FSMetaOverheadSet = true
+		}
+		rig, err := Build(cfg)
+		if err != nil {
+			return fmt.Errorf("fig4 %v op=%v: %w", pt.scheme, pt.op, err)
+		}
+		out[i] = Fig4Row{
+			Scheme: pt.scheme, OPRatio: pt.op,
+			Result: RunBC(rig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,59 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+)
+
+// forEachPoint runs fn(0..n-1) across a bounded worker pool. Every
+// experiment point in the harness sweeps (one scheme, one OP ratio, one
+// cache size) builds its own device stack, clock, and seeded workload, so
+// points are independent and replay bit-identically regardless of which
+// worker runs them; results land in caller-owned slices indexed by point, so
+// output ordering is deterministic too. The pool is GOMAXPROCS-sized: the
+// sweeps are CPU-bound simulation, and more workers than cores only adds
+// scheduler churn.
+//
+// The first error in point order wins, matching what the serial loops
+// returned; later points still run to completion (they are side-effect-free
+// beyond their own slots).
+func forEachPoint(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

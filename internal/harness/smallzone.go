@@ -48,39 +48,49 @@ func DefaultSmallZone() SmallZoneParams {
 }
 
 // RunSmallZone sweeps Zone-Cache over zone sizes and appends the
-// Region-Cache reference on the 16 MiB-zone device.
+// Region-Cache reference on the 16 MiB-zone device. The zone-size points
+// plus the reference are independent stacks and fan across the worker pool;
+// row order is fixed.
 func RunSmallZone(p SmallZoneParams) ([]SmallZoneRow, error) {
-	var out []SmallZoneRow
-	for _, zm := range p.ZoneSizesMiB {
-		hw := DefaultHW(p.DeviceMiB / zm)
-		hw.BlocksPerZone = zm // 1 MiB blocks
+	out := make([]SmallZoneRow, len(p.ZoneSizesMiB)+1)
+	err := forEachPoint(len(out), func(i int) error {
+		if i < len(p.ZoneSizesMiB) {
+			zm := p.ZoneSizesMiB[i]
+			hw := DefaultHW(p.DeviceMiB / zm)
+			hw.BlocksPerZone = zm // 1 MiB blocks
+			rig, err := Build(RigConfig{
+				Scheme:    ZoneCache,
+				HW:        hw,
+				ZoneCount: hw.actualZones(),
+			})
+			if err != nil {
+				return fmt.Errorf("smallzone %d MiB: %w", zm, err)
+			}
+			out[i] = SmallZoneRow{
+				Label:   fmt.Sprintf("Zone-Cache %d MiB zones", zm),
+				ZoneMiB: zm,
+				Result:  RunBC(rig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed),
+			}
+			return nil
+		}
+		// Reference: Region-Cache on the large-zone device with the usual OP.
+		hw := DefaultHW(p.DeviceMiB / 16)
 		rig, err := Build(RigConfig{
-			Scheme:    ZoneCache,
-			HW:        hw,
-			ZoneCount: hw.actualZones(),
+			Scheme:     RegionCache,
+			HW:         hw,
+			CacheBytes: int64(hw.actualZones()) * hw.ZoneBytes() * 20 / 25,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("smallzone %d MiB: %w", zm, err)
+			return fmt.Errorf("smallzone reference: %w", err)
 		}
-		out = append(out, SmallZoneRow{
-			Label:   fmt.Sprintf("Zone-Cache %d MiB zones", zm),
-			ZoneMiB: zm,
-			Result:  RunBC(rig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed),
-		})
-	}
-	// Reference: Region-Cache on the large-zone device with the usual OP.
-	hw := DefaultHW(p.DeviceMiB / 16)
-	rig, err := Build(RigConfig{
-		Scheme:     RegionCache,
-		HW:         hw,
-		CacheBytes: int64(hw.actualZones()) * hw.ZoneBytes() * 20 / 25,
+		out[i] = SmallZoneRow{
+			Label:  "Region-Cache (reference)",
+			Result: RunBC(rig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed),
+		}
+		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("smallzone reference: %w", err)
+		return nil, err
 	}
-	out = append(out, SmallZoneRow{
-		Label:  "Region-Cache (reference)",
-		Result: RunBC(rig, p.Keys, p.WarmupOps, p.MeasureOps, p.Seed),
-	})
 	return out, nil
 }

@@ -367,9 +367,12 @@ func (s *SSD) collectLocked(now time.Duration) (time.Duration, bool) {
 // pickVictimLocked chooses the full block with the fewest valid pages
 // (greedy policy), skipping open blocks.
 func (s *SSD) pickVictimLocked() (int, bool) {
+	// Ties break toward the lowest block index: map iteration order is
+	// random per run, and letting it pick among equal-valid victims makes
+	// GC latencies (and thus simulated throughput) drift across runs.
 	best, bestValid := -1, 1<<31
 	for b := range s.fullBlks {
-		if v := s.array.ValidPages(b); v < bestValid {
+		if v := s.array.ValidPages(b); v < bestValid || (v == bestValid && b < best) {
 			best, bestValid = b, v
 		}
 	}

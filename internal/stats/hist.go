@@ -174,6 +174,42 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	}
 }
 
+// Merge folds all of other's samples into h. Bucket boundaries are shared by
+// construction, so the merge is exact at histogram resolution: percentiles of
+// the merged histogram equal percentiles over the union of the sample
+// streams (within one bucket's width). It is the primitive the sharded cache
+// frontend uses to report one latency distribution across per-shard engines.
+// Merging a histogram into itself is a no-op.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other == h {
+		return
+	}
+	// Copy out under other's lock first so the two locks never nest in an
+	// order that could deadlock with a concurrent reverse merge.
+	other.mu.Lock()
+	counts := other.counts
+	total := other.total
+	sum := other.sum
+	min, max := other.min, other.max
+	other.mu.Unlock()
+	if total == 0 {
+		return
+	}
+	h.mu.Lock()
+	for i, c := range counts {
+		h.counts[i] += c
+	}
+	h.total += total
+	h.sum += sum
+	if min < h.min {
+		h.min = min
+	}
+	if max > h.max {
+		h.max = max
+	}
+	h.mu.Unlock()
+}
+
 // Reset discards all samples.
 func (h *Histogram) Reset() {
 	h.mu.Lock()

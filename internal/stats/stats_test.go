@@ -246,3 +246,79 @@ func TestHitRatio(t *testing.T) {
 		t.Fatal("Reset did not clear hit ratio")
 	}
 }
+
+func TestHistogramMergeUnion(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	union := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		d := time.Duration(i) * time.Microsecond
+		a.Observe(d)
+		union.Observe(d)
+	}
+	for i := 1; i <= 50; i++ {
+		d := time.Duration(i) * time.Millisecond
+		b.Observe(d)
+		union.Observe(d)
+	}
+	a.Merge(b)
+	if a.Count() != union.Count() {
+		t.Fatalf("merged count = %d, want %d", a.Count(), union.Count())
+	}
+	if a.Mean() != union.Mean() {
+		t.Fatalf("merged mean = %v, want %v", a.Mean(), union.Mean())
+	}
+	if a.Min() != union.Min() || a.Max() != union.Max() {
+		t.Fatalf("merged min/max = %v/%v, want %v/%v",
+			a.Min(), a.Max(), union.Min(), union.Max())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1} {
+		if got, want := a.Percentile(q), union.Percentile(q); got != want {
+			t.Fatalf("merged P%.0f = %v, want %v (merge must equal observing the union)",
+				q*100, got, want)
+		}
+	}
+}
+
+func TestHistogramMergeEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Millisecond)
+	h.Merge(nil)            // no-op
+	h.Merge(h)              // self-merge: no-op, no deadlock
+	h.Merge(NewHistogram()) // empty other: no-op, min must not be clobbered
+	if h.Count() != 1 || h.Min() != time.Millisecond || h.Max() != time.Millisecond {
+		t.Fatalf("edge-case merges changed the histogram: n=%d min=%v max=%v",
+			h.Count(), h.Min(), h.Max())
+	}
+	// Merging into an empty histogram adopts the other's min.
+	e := NewHistogram()
+	e.Merge(h)
+	if e.Count() != 1 || e.Min() != time.Millisecond {
+		t.Fatalf("empty.Merge: n=%d min=%v", e.Count(), e.Min())
+	}
+}
+
+func TestHistogramMergeConcurrent(t *testing.T) {
+	shards := make([]*Histogram, 8)
+	for i := range shards {
+		shards[i] = NewHistogram()
+		for j := 0; j < 1000; j++ {
+			shards[i].Observe(time.Duration(i*1000+j) * time.Nanosecond)
+		}
+	}
+	// Merge all shards into one sink from concurrent goroutines (the
+	// sharded frontend's Stats does this under shard locks; the histogram
+	// itself must tolerate it).
+	sink := NewHistogram()
+	var wg sync.WaitGroup
+	for _, h := range shards {
+		wg.Add(1)
+		go func(h *Histogram) {
+			defer wg.Done()
+			sink.Merge(h)
+		}(h)
+	}
+	wg.Wait()
+	if sink.Count() != 8000 {
+		t.Fatalf("concurrent merge lost samples: %d", sink.Count())
+	}
+}

@@ -1,0 +1,194 @@
+package znscache
+
+import (
+	"fmt"
+	"time"
+
+	"znscache/internal/cache"
+	"znscache/internal/harness"
+)
+
+// ShardedConfig describes a sharded cache: a base Config plus the shard
+// count. The simulated hardware and the cache capacity are partitioned
+// across shards — each shard owns Zones/Shards zones and CacheBytes/Shards
+// bytes of an independent device stack — so the total footprint matches a
+// single-engine cache of the same Config while operations on different
+// shards run concurrently.
+type ShardedConfig struct {
+	Config
+	// Shards is the number of independent engines (default 4). Zones must
+	// split into at least one zone per shard.
+	Shards int
+}
+
+// ShardedCache is the concurrent frontend: Config's capacity split across
+// Shards independent engines, each with its own virtual clock, device stack,
+// and mutex. All methods are safe for concurrent use. Keys are partitioned
+// by hash, so a key always lands on the same shard; per-shard determinism is
+// preserved (see cache.Sharded).
+type ShardedCache struct {
+	sh     *cache.Sharded
+	rigs   []*harness.Rig
+	closed bool
+}
+
+// OpenSharded builds a sharded cache per cfg.
+func OpenSharded(cfg ShardedConfig) (*ShardedCache, error) {
+	if cfg.Shards == 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("znscache: invalid shard count %d", cfg.Shards)
+	}
+	if cfg.Zones == 0 {
+		cfg.Zones = 24
+	}
+	zonesPerShard := cfg.Zones / cfg.Shards
+	if zonesPerShard < 1 {
+		return nil, fmt.Errorf("znscache: %d zones cannot split across %d shards",
+			cfg.Zones, cfg.Shards)
+	}
+
+	shardCfg := cfg.Config
+	shardCfg.Zones = zonesPerShard
+	if cfg.CacheBytes != 0 {
+		shardCfg.CacheBytes = cfg.CacheBytes / int64(cfg.Shards)
+	}
+
+	c := &ShardedCache{rigs: make([]*harness.Rig, cfg.Shards)}
+	engines := make([]*cache.Cache, cfg.Shards)
+	for i := range engines {
+		single, err := Open(shardCfg)
+		if err != nil {
+			return nil, fmt.Errorf("znscache: shard %d: %w", i, err)
+		}
+		c.rigs[i] = single.rig
+		engines[i] = single.rig.Engine
+	}
+	sh, err := cache.NewSharded(engines)
+	if err != nil {
+		return nil, err
+	}
+	c.sh = sh
+	return c, nil
+}
+
+// NumShards returns the shard count.
+func (c *ShardedCache) NumShards() int { return c.sh.NumShards() }
+
+// ShardFor returns the shard index key maps to.
+func (c *ShardedCache) ShardFor(key string) int { return c.sh.ShardFor(key) }
+
+// Rig exposes shard i's scheme assembly for inspection. The returned value
+// shares state with the cache and is not synchronized against concurrent
+// operations.
+func (c *ShardedCache) Rig(i int) *harness.Rig { return c.rigs[i] }
+
+// Set inserts or replaces key with value.
+func (c *ShardedCache) Set(key string, value []byte) error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.sh.Set(key, value, 0)
+}
+
+// SetSized inserts or replaces key with a metadata-only value of n bytes.
+func (c *ShardedCache) SetSized(key string, n int) error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.sh.Set(key, nil, n)
+}
+
+// SetWithTTL inserts key with a time-to-live measured on the owning shard's
+// simulated clock.
+func (c *ShardedCache) SetWithTTL(key string, value []byte, ttl time.Duration) error {
+	if c.closed {
+		return ErrClosed
+	}
+	return c.sh.SetTTL(key, value, 0, ttl)
+}
+
+// Get returns the value for key. With TrackValues off, the returned slice
+// is nil even on a hit.
+func (c *ShardedCache) Get(key string) ([]byte, bool, error) {
+	if c.closed {
+		return nil, false, ErrClosed
+	}
+	return c.sh.Get(key)
+}
+
+// Contains reports whether key is cached (TTL-expired items count as
+// absent), without recency side effects.
+func (c *ShardedCache) Contains(key string) bool {
+	if c.closed {
+		return false
+	}
+	return c.sh.Contains(key)
+}
+
+// Delete removes key; it reports whether the key was present.
+func (c *ShardedCache) Delete(key string) bool {
+	if c.closed {
+		return false
+	}
+	return c.sh.Delete(key)
+}
+
+// Len returns the number of cached items across all shards.
+func (c *ShardedCache) Len() int { return c.sh.Len() }
+
+// Drain completes all in-flight flushes on every shard.
+func (c *ShardedCache) Drain() { c.sh.Drain() }
+
+// Stats merges all shards into one snapshot: counters sum, latency
+// histograms merge exactly, and write amplification is the host-byte
+// weighted mean across shards (each shard amplifies its own write stream).
+// SimulatedTime is the furthest shard clock — the makespan of a parallel
+// replay.
+func (c *ShardedCache) Stats() Stats {
+	ms := c.sh.Stats()
+	out := Stats{
+		Scheme:        c.rigs[0].Scheme,
+		Items:         c.sh.Len(),
+		HitRatio:      ms.HitRatio,
+		Hits:          ms.Hits,
+		Misses:        ms.Misses,
+		Sets:          ms.Sets,
+		Deletes:       ms.Deletes,
+		Evictions:     ms.Evictions,
+		GetP50:        ms.GetLatency.P50,
+		GetP99:        ms.GetLatency.P99,
+		SimulatedTime: ms.SimulatedTime,
+	}
+	var hostTotal float64
+	var waSum float64
+	for i, rig := range c.rigs {
+		host := float64(c.sh.ShardStats(i).HostWriteBytes)
+		hostTotal += host
+		waSum += rig.WAFactor() * host
+	}
+	if hostTotal > 0 {
+		out.WriteAmplification = waSum / hostTotal
+	} else {
+		out.WriteAmplification = 1
+	}
+	return out
+}
+
+// SimulatedTime returns the furthest shard clock.
+func (c *ShardedCache) SimulatedTime() time.Duration {
+	var max time.Duration
+	for _, rig := range c.rigs {
+		if t := rig.Clock.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// Close marks the cache closed.
+func (c *ShardedCache) Close() error {
+	c.closed = true
+	return nil
+}
