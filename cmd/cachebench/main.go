@@ -20,21 +20,48 @@ import (
 	"os"
 
 	"znscache/internal/harness"
+	"znscache/internal/obs"
 	"znscache/internal/workload"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|all")
-		zones      = flag.Int("zones", 0, "override device zone count")
-		ops        = flag.Int("ops", 0, "override measured op count")
-		warmup     = flag.Int("warmup", 0, "override warmup op count")
-		keys       = flag.Int64("keys", 0, "override key-space size")
-		seed       = flag.Uint64("seed", 0, "override workload seed")
-		traceFile  = flag.String("trace", "", "replay a trace file (op key [len] per line) instead of an experiment")
-		scheme     = flag.String("scheme", "region", "scheme for -trace: block|file|zone|region")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|all")
+		zones       = flag.Int("zones", 0, "override device zone count")
+		ops         = flag.Int("ops", 0, "override measured op count")
+		warmup      = flag.Int("warmup", 0, "override warmup op count")
+		keys        = flag.Int64("keys", 0, "override key-space size")
+		seed        = flag.Uint64("seed", 0, "override workload seed")
+		traceFile   = flag.String("trace", "", "replay a trace file (op key [len] per line) instead of an experiment")
+		scheme      = flag.String("scheme", "region", "scheme for -trace: block|file|zone|region")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address while running")
+		jsonDir     = flag.String("json", "", "also write BENCH_<experiment>.json report files into this directory")
+		eventsFile  = flag.String("events", "", "record device/cache events and write them as JSON to this file")
+		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "event ring capacity for -events (newest kept)")
 	)
 	flag.Parse()
+
+	reg := obs.NewRegistry()
+	if *metricsAddr != "" {
+		harness.SetMetricsRegistry(reg)
+		srv, err := obs.StartServer(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cachebench metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr())
+	}
+	var tracer *obs.Tracer
+	if *eventsFile != "" {
+		tracer = obs.NewTracer(*traceCap)
+		harness.SetTracer(tracer)
+		defer func() {
+			if err := writeEvents(*eventsFile, tracer); err != nil {
+				fmt.Fprintf(os.Stderr, "cachebench events: %v\n", err)
+			}
+		}()
+	}
 
 	if *traceFile != "" {
 		if err := replayTrace(*traceFile, *scheme, *zones); err != nil {
@@ -42,6 +69,18 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	}
+
+	report := func(rep *harness.Report) error {
+		if *jsonDir == "" {
+			return nil
+		}
+		path, err := rep.WriteFile(*jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
 	}
 
 	run := func(name string, f func() error) {
@@ -63,7 +102,7 @@ func main() {
 			return err
 		}
 		harness.PrintFig2(os.Stdout, rows)
-		return nil
+		return report(harness.NewFig2Report(rows))
 	})
 	run("smallzone", func() error {
 		p := harness.DefaultSmallZone()
@@ -81,7 +120,7 @@ func main() {
 			return err
 		}
 		harness.PrintSmallZone(os.Stdout, rows)
-		return nil
+		return report(harness.NewSmallZoneReport(rows))
 	})
 	run("fig3", func() error {
 		p := harness.DefaultFig3()
@@ -96,7 +135,7 @@ func main() {
 			return err
 		}
 		harness.PrintFig3(os.Stdout, rows)
-		return nil
+		return report(harness.NewFig3Report(rows))
 	})
 	runFig4 := func() ([]harness.Fig4Row, error) {
 		p := harness.DefaultFig4()
@@ -126,6 +165,10 @@ func main() {
 			os.Exit(1)
 		}
 		harness.PrintFig4Table1(os.Stdout, rows)
+		if err := report(harness.NewFig4Table1Report(rows)); err != nil {
+			fmt.Fprintf(os.Stderr, "cachebench fig4/table1: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Println()
 	}
 
@@ -135,6 +178,23 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+// writeEvents dumps the tracer's retained events as a JSON array.
+func writeEvents(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d events retained, %d total)\n", path, len(tr.Events()), tr.Total())
+	return nil
 }
 
 // replayTrace runs a trace file against one scheme and reports the outcome.

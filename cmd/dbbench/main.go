@@ -15,17 +15,44 @@ import (
 	"os"
 
 	"znscache/internal/harness"
+	"znscache/internal/obs"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5|table2|all")
-		keys       = flag.Int64("keys", 0, "override fillrandom key count")
-		reads      = flag.Int("reads", 0, "override readrandom op count")
-		cacheZones = flag.Int("cache-zones", 0, "override flash cache size in zones")
-		seed       = flag.Uint64("seed", 0, "override workload seed")
+		experiment  = flag.String("experiment", "all", "fig5|table2|all")
+		keys        = flag.Int64("keys", 0, "override fillrandom key count")
+		reads       = flag.Int("reads", 0, "override readrandom op count")
+		cacheZones  = flag.Int("cache-zones", 0, "override flash cache size in zones")
+		seed        = flag.Uint64("seed", 0, "override workload seed")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address while running")
+		jsonDir     = flag.String("json", "", "also write BENCH_<experiment>.json report files into this directory")
 	)
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		harness.SetMetricsRegistry(reg)
+		srv, err := obs.StartServer(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbbench metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", srv.Addr())
+	}
+
+	report := func(rep *harness.Report) error {
+		if *jsonDir == "" {
+			return nil
+		}
+		path, err := rep.WriteFile(*jsonDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		return nil
+	}
 
 	p := harness.DefaultFig5()
 	if *keys != 0 {
@@ -48,6 +75,10 @@ func main() {
 			os.Exit(1)
 		}
 		harness.PrintFig5(os.Stdout, rows)
+		if err := report(harness.NewFig5Report(rows)); err != nil {
+			fmt.Fprintf(os.Stderr, "dbbench fig5: %v\n", err)
+			os.Exit(1)
+		}
 		fmt.Println()
 	}
 	if *experiment == "all" || *experiment == "table2" {
@@ -57,6 +88,10 @@ func main() {
 			os.Exit(1)
 		}
 		harness.PrintTable2(os.Stdout, rows)
+		if err := report(harness.NewTable2Report(rows)); err != nil {
+			fmt.Fprintf(os.Stderr, "dbbench table2: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	switch *experiment {
 	case "all", "fig5", "table2":

@@ -11,10 +11,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"znscache/internal/device"
 	"znscache/internal/flash"
 	"znscache/internal/harness"
+	"znscache/internal/obs"
 	"znscache/internal/workload"
 	"znscache/internal/zns"
 )
@@ -25,6 +27,7 @@ func main() {
 		zoneMiB  = flag.Int("zone-mib", 16, "zone size in MiB")
 		exercise = flag.String("exercise", "seq", "seq|churn|cache|none")
 		ops      = flag.Int("ops", 50_000, "cache exercise op count")
+		watch    = flag.Int("watch", 0, "print N per-zone snapshots (from the metrics registry) during the exercise")
 	)
 	flag.Parse()
 
@@ -33,7 +36,7 @@ func main() {
 
 	switch *exercise {
 	case "cache":
-		if err := cacheExercise(hw, *ops); err != nil {
+		if err := cacheExercise(hw, *ops, *watch); err != nil {
 			fmt.Fprintln(os.Stderr, "zonectl:", err)
 			os.Exit(1)
 		}
@@ -53,15 +56,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "zonectl:", err)
 		os.Exit(1)
 	}
+	w := newWatcher(*watch, dev.ZoneSize())
+	if w != nil {
+		dev.MetricsInto(w.reg, obs.L("rig", "0"))
+	}
 
 	switch *exercise {
 	case "seq":
 		// Fill the first half of the zones sequentially.
-		for z := 0; z < dev.NumZones()/2; z++ {
+		n := dev.NumZones() / 2
+		for z := 0; z < n; z++ {
 			if _, err := dev.Write(0, nil, int(dev.ZoneSize()), int64(z)*dev.ZoneSize()); err != nil {
 				fmt.Fprintln(os.Stderr, "zonectl: write:", err)
 				os.Exit(1)
 			}
+			w.maybe(z, n)
 		}
 	case "churn":
 		// Three fill/reset laps over every zone.
@@ -75,10 +84,105 @@ func main() {
 					fmt.Fprintln(os.Stderr, "zonectl: reset:", err)
 					os.Exit(1)
 				}
+				w.maybe(lap*dev.NumZones()+z, 3*dev.NumZones())
 			}
 		}
 	}
 	report(dev)
+}
+
+// watcher prints periodic per-zone snapshots sourced from the metrics
+// registry — the same zns_zone_* gauges a live /metrics scrape would see —
+// rather than from the device directly, so watch output and exposition can
+// never disagree.
+type watcher struct {
+	reg      *obs.Registry
+	zoneSize int64
+	want     int
+	printed  int
+}
+
+// newWatcher returns nil when n snapshots were not requested; a nil watcher's
+// maybe is a no-op, so call sites need no guards.
+func newWatcher(n int, zoneSize int64) *watcher {
+	if n <= 0 {
+		return nil
+	}
+	return &watcher{reg: obs.NewRegistry(), zoneSize: zoneSize, want: n}
+}
+
+// maybe emits a snapshot when step i of total crosses the next of the n
+// evenly spaced sample points.
+func (w *watcher) maybe(i, total int) {
+	if w == nil || total <= 0 {
+		return
+	}
+	due := (i + 1) * w.want / total
+	if due <= w.printed {
+		return
+	}
+	w.printed = due
+	w.dump(i+1, total)
+}
+
+// dump renders one compact per-zone line: a state glyph per zone
+// (E=empty O=open C=closed F=full, grouped by 8) plus aggregate occupancy
+// and reset totals read from the gauges.
+func (w *watcher) dump(i, total int) {
+	type zrow struct {
+		state, wp, resets float64
+	}
+	rows := map[int]*zrow{}
+	maxZone := -1
+	for _, s := range w.reg.Gather() {
+		zl := s.Labels.Get("zone")
+		if zl == "" {
+			continue
+		}
+		z, err := strconv.Atoi(zl)
+		if err != nil {
+			continue
+		}
+		r := rows[z]
+		if r == nil {
+			r = &zrow{}
+			rows[z] = r
+		}
+		if z > maxZone {
+			maxZone = z
+		}
+		switch s.Name {
+		case "zns_zone_state":
+			r.state = s.Value
+		case "zns_zone_wp_bytes":
+			r.wp = s.Value
+		case "zns_zone_reset_count":
+			r.resets = s.Value
+		}
+	}
+	glyphs := []byte{'E', 'O', 'C', 'F'}
+	var line []byte
+	var wp, resets float64
+	for z := 0; z <= maxZone; z++ {
+		if z > 0 && z%8 == 0 {
+			line = append(line, ' ')
+		}
+		g := byte('?')
+		if r := rows[z]; r != nil {
+			if s := int(r.state); s >= 0 && s < len(glyphs) {
+				g = glyphs[s]
+			}
+			wp += r.wp
+			resets += r.resets
+		}
+		line = append(line, g)
+	}
+	occ := 0.0
+	if maxZone >= 0 && w.zoneSize > 0 {
+		occ = wp / (float64(maxZone+1) * float64(w.zoneSize)) * 100
+	}
+	fmt.Printf("watch %d/%d [%s] occupancy %5.1f%%  resets %.0f\n",
+		i, total, line, occ, resets)
 }
 
 func report(dev *zns.Device) {
@@ -96,13 +200,20 @@ func report(dev *zns.Device) {
 // cacheExercise runs a Region-Cache over the device and reports both the
 // cache view and the zone view — showing how region churn maps to zone
 // lifecycle.
-func cacheExercise(hw harness.HWProfile, ops int) error {
+func cacheExercise(hw harness.HWProfile, ops, watch int) error {
+	w := newWatcher(watch, 0)
+	if w != nil {
+		harness.SetMetricsRegistry(w.reg)
+	}
 	rig, err := harness.Build(harness.RigConfig{
 		Scheme: harness.RegionCache,
 		HW:     hw,
 	})
 	if err != nil {
 		return err
+	}
+	if w != nil {
+		w.zoneSize = rig.ZNS.ZoneSize()
 	}
 	gen := workload.NewBC(workload.BCConfig{Keys: 16 << 10, Seed: 1})
 	for i := 0; i < ops; i++ {
@@ -117,6 +228,7 @@ func cacheExercise(hw harness.HWProfile, ops int) error {
 		case workload.OpDelete:
 			rig.Engine.Delete(op.Key)
 		}
+		w.maybe(i, ops)
 	}
 	st := rig.Engine.Stats()
 	fmt.Printf("cache: %d ops in %v simulated — hit %.2f%%, %d evictions, WAF %.2f\n",

@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"znscache/internal/device"
+	"znscache/internal/obs"
 	"znscache/internal/sim"
 	"znscache/internal/stats"
 )
@@ -143,6 +144,9 @@ type Config struct {
 	// ample for every experiment in the harness), a negative value keeps the
 	// log unbounded. FillCount and EvictionOnset stay exact regardless.
 	FillLogCap int
+	// Trace receives admission, seal, and eviction events; nil (the default)
+	// disables tracing at the cost of one pointer test per event site.
+	Trace *obs.Tracer
 }
 
 // defaultFillLogCap bounds the fill log unless Config.FillLogCap overrides
@@ -259,6 +263,8 @@ type Cache struct {
 	coldSet      []bool
 	coldSetValid bool
 
+	trace *obs.Tracer // nil when tracing is disabled
+
 	// metrics
 	hitRatio    stats.HitRatio
 	getLat      *stats.Histogram
@@ -318,6 +324,7 @@ func New(cfg Config) (*Cache, error) {
 		setLat:        stats.NewHistogram(),
 		fillCap:       cfg.FillLogCap,
 		firstEvictSeq: noEvictSeq,
+		trace:         cfg.Trace,
 	}
 	// One buffer is always the one being filled; only the remainder can
 	// hold in-flight flushes. A single zone-sized buffer therefore flushes
@@ -383,7 +390,13 @@ func (c *Cache) SetTTL(key string, value []byte, valLen int, ttl time.Duration) 
 	}
 	if !c.cfg.Admission.Admit(key, valLen) {
 		c.rejects.Inc()
+		if c.trace != nil {
+			c.trace.Emit(obs.Event{T: start, Type: obs.EvReject, Zone: -1, Region: -1, Bytes: size})
+		}
 		return nil
+	}
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{T: start, Type: obs.EvAdmit, Zone: -1, Region: -1, Bytes: size})
 	}
 
 	c.clock.Advance(c.cpu.IndexInsert)
@@ -486,6 +499,9 @@ func (c *Cache) rollRegion() error {
 		c.clock.Advance(sc.WriteSyncCost())
 	}
 	c.flushes.Inc()
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{T: now, Type: obs.EvRegionSeal, Zone: -1, Region: int32(id), Bytes: m.fill})
+	}
 	m.state = regionFlushing
 	m.flushDone = now + lat
 	m.elem = c.order.PushFront(id)
@@ -618,6 +634,9 @@ func (c *Cache) evictVictim() (int, []reinsertItem, error) {
 	}
 	c.clock.Advance(lat)
 	c.evicts.Inc()
+	if c.trace != nil {
+		c.trace.Emit(obs.Event{T: now, Type: obs.EvEvict, Zone: -1, Region: int32(id), Bytes: int64(m.keys.len())})
+	}
 	if c.EvictedKeys != nil && len(dropped) > 0 {
 		c.EvictedKeys(dropped)
 	}
@@ -948,6 +967,28 @@ func (c *Cache) Stats() Stats {
 		SetLatency:     c.setLat.Snapshot(),
 		SimulatedTime:  c.clock.Now(),
 	}
+}
+
+// MetricsInto implements obs.MetricSource, registering the same instruments
+// Stats() snapshots. Only atomically- or mutex-backed instruments are
+// registered — never closures over the engine's maps or region table, which
+// belong to the (single-threaded) simulation goroutine — so a concurrent
+// scrape mid-run is safe.
+func (c *Cache) MetricsInto(r *obs.Registry, labels obs.Labels) {
+	ls := labels.With("layer", "cache")
+	r.HitRatio("cache_lookup", "Cache lookups", ls, &c.hitRatio)
+	r.Histogram("cache_get_seconds", "Get latency (simulated)", ls, c.getLat)
+	r.Histogram("cache_set_seconds", "Set latency (simulated)", ls, c.setLat)
+	r.Counter("cache_gets_total", "Get operations", ls, &c.gets)
+	r.Counter("cache_sets_total", "Set operations", ls, &c.sets)
+	r.Counter("cache_deletes_total", "Delete operations", ls, &c.dels)
+	r.Counter("cache_evictions_total", "Region evictions", ls, &c.evicts)
+	r.Counter("cache_codesign_drops_total", "Regions invalidated by GC co-design drops", ls, &c.drops)
+	r.Counter("cache_reinsertions_total", "Hot items reinserted at eviction", ls, &c.reinserts)
+	r.Counter("cache_expirations_total", "TTL expirations", ls, &c.expirations)
+	r.Counter("cache_flushes_total", "Region flushes", ls, &c.flushes)
+	r.Counter("cache_admit_rejects_total", "Inserts rejected by the admission policy", ls, &c.rejects)
+	r.Counter("cache_host_write_bytes_total", "Item bytes accepted from the host", ls, &c.hostBytes)
 }
 
 // GetLatencyHistogram exposes the raw get-latency histogram for percentile

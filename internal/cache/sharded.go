@@ -2,9 +2,11 @@ package cache
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
+	"znscache/internal/obs"
 	"znscache/internal/stats"
 )
 
@@ -156,6 +158,16 @@ func (s *Sharded) Drain() {
 		sh.mu.Lock()
 		sh.c.Drain()
 		sh.mu.Unlock()
+	}
+}
+
+// MetricsInto implements obs.MetricSource: every shard's engine registers
+// its instruments with a shard label appended, so per-shard skew (hash
+// imbalance, clock divergence) is visible series-by-series. Engine
+// instruments are atomics/mutexed histograms, so scrapes need no shard lock.
+func (s *Sharded) MetricsInto(r *obs.Registry, labels obs.Labels) {
+	for i := range s.shards {
+		s.shards[i].c.MetricsInto(r, labels.With("shard", strconv.Itoa(i)))
 	}
 }
 

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"znscache/internal/device"
+	"znscache/internal/obs"
 	"znscache/internal/stats"
 	"znscache/internal/zns"
 )
@@ -210,6 +211,23 @@ func (fs *FS) FreeZones() int {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	return len(fs.freeZone)
+}
+
+// MetricsInto implements obs.MetricSource: filesystem write amplification,
+// segment-cleaning activity, checkpoint count, the incremental-cleaning stall
+// distribution, and pool-health gauges.
+func (fs *FS) MetricsInto(r *obs.Registry, labels obs.Labels) {
+	ls := labels.With("layer", "f2fs")
+	r.WriteAmp("f2fs_wa", "Filesystem write amplification (data+node+cleaning)", ls, &fs.WA)
+	r.Counter("f2fs_clean_runs_total", "Segment-cleaner victim adoptions", ls, &fs.CleanRuns)
+	r.Counter("f2fs_checkpoints_total", "Node-log checkpoints", ls, &fs.Checkpoints)
+	r.Histogram("f2fs_clean_stall_seconds", "Cleaning work charged to host writes", ls, fs.CleanStalls)
+	r.Gauge("f2fs_free_zones", "Zones in the free pool", ls, func() float64 {
+		return float64(fs.FreeZones())
+	})
+	r.Gauge("f2fs_live_blocks", "File data blocks currently mapped", ls, func() float64 {
+		return float64(fs.LiveBlocks())
+	})
 }
 
 // Create allocates a file of fixed size (CacheLib's usage: one large

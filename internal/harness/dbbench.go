@@ -2,11 +2,13 @@ package harness
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 
 	"znscache/internal/cache"
 	"znscache/internal/hdd"
 	"znscache/internal/lsm"
+	"znscache/internal/obs"
 	"znscache/internal/sim"
 	"znscache/internal/workload"
 )
@@ -152,6 +154,11 @@ func runDBBench(s Scheme, er float64, p Fig5Params, zoneCount int) (Fig5Row, err
 	})
 	if err != nil {
 		return Fig5Row{}, fmt.Errorf("dbbench %v: %w", s, err)
+	}
+	if reg := globalRegistry.Load(); reg != nil {
+		db.MetricsInto(reg, obs.L(
+			"rig", strconv.FormatUint(rigSeq.Add(1), 10),
+			"scheme", s.String()))
 	}
 
 	// Phase 1: fillrandom.

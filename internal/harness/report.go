@@ -1,8 +1,12 @@
 package harness
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"sort"
 	"time"
 )
 
@@ -36,13 +40,23 @@ func PrintFig3(w io.Writer, rows []Fig3Result) {
 	for _, r := range rows {
 		fmt.Fprintf(w, "\n[%s] region=%d bytes, eviction onset at seq %d\n",
 			r.Label, r.RegionBytes, r.EvictionOnsetSeq)
-		fmt.Fprintf(w, "  mean fill before onset: %s   after onset: %s (%.1fx)\n",
-			fmtDur(r.MeanBefore), fmtDur(r.MeanAfter),
-			float64(r.MeanAfter)/float64(max64(1, int64(r.MeanBefore))))
-		// Sample ~20 points across the series for the "plot".
-		step := len(r.Records)/20 + 1
+		ratio := "n/a"
+		if r.MeanBefore > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(r.MeanAfter)/float64(r.MeanBefore))
+		}
+		fmt.Fprintf(w, "  mean fill before onset: %s   after onset: %s (%s)\n",
+			fmtDur(r.MeanBefore), fmtDur(r.MeanAfter), ratio)
+		// Sample ~20 points across the series for the "plot", always keeping
+		// the eviction-onset record visible.
+		onset := -1
+		for i, rec := range r.Records {
+			if rec.Seq == r.EvictionOnsetSeq {
+				onset = i
+				break
+			}
+		}
 		fmt.Fprintf(w, "  %-8s %s\n", "seq", "fill-time")
-		for i := 0; i < len(r.Records); i += step {
+		for _, i := range fig3SampleIndices(len(r.Records), 20, onset) {
 			rec := r.Records[i]
 			marker := ""
 			if rec.Evicted {
@@ -51,6 +65,33 @@ func PrintFig3(w io.Writer, rows []Fig3Result) {
 			fmt.Fprintf(w, "  %-8d %s%s\n", rec.Seq, fmtDur(rec.Duration), marker)
 		}
 	}
+}
+
+// fig3SampleIndices picks ~maxPoints indices striding evenly across n
+// records, plus index must when 0 ≤ must < n — the stride alone can step
+// over the eviction-onset record, which is the one point Figure 3 is about.
+// The result is ascending with no duplicates.
+func fig3SampleIndices(n, maxPoints, must int) []int {
+	if n <= 0 {
+		return nil
+	}
+	if maxPoints < 1 {
+		maxPoints = 1
+	}
+	step := n/maxPoints + 1
+	out := make([]int, 0, maxPoints+2)
+	for i := 0; i < n; i += step {
+		out = append(out, i)
+	}
+	if must >= 0 && must < n {
+		pos := sort.SearchInts(out, must)
+		if pos == len(out) || out[pos] != must {
+			out = append(out, 0)
+			copy(out[pos+1:], out[pos:])
+			out[pos] = must
+		}
+	}
+	return out
 }
 
 // PrintFig4Table1 renders the OP sweep and the Table 1 WA factors.
@@ -97,13 +138,6 @@ func PrintTable2(w io.Writer, rows []Table2Row) {
 	}
 }
 
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
-}
-
 // PrintSmallZone renders the small-zone hypothesis sweep.
 func PrintSmallZone(w io.Writer, rows []SmallZoneRow) {
 	fmt.Fprintln(w, "Small-zone hypothesis (§3.2/§4.2) — Zone-Cache vs zone size")
@@ -112,4 +146,256 @@ func PrintSmallZone(w io.Writer, rows []SmallZoneRow) {
 		fmt.Fprintf(w, "%-26s %12.0f %9.2f%% %12s\n",
 			r.Label, r.Result.OpsPerSec, r.Result.HitRatio*100, fmtDur(r.Result.SetP99))
 	}
+}
+
+// ReportSchema identifies the layout of the machine-readable documents the
+// bench binaries emit next to their text output. Bump the version when a
+// field changes meaning; adding fields is compatible.
+const ReportSchema = "znscache/bench-report/v1"
+
+// Report is one experiment's machine-readable result. Exactly one section is
+// populated, selected by Experiment. All durations are int64 nanoseconds
+// (fields suffixed _ns) so documents round-trip exactly through JSON —
+// float64 seconds would not.
+type Report struct {
+	Schema     string             `json:"schema"`
+	Experiment string             `json:"experiment"`
+	Fig2       []SchemeResultJSON `json:"fig2,omitempty"`
+	Fig3       []Fig3JSON         `json:"fig3,omitempty"`
+	Fig4Table1 []Fig4RowJSON      `json:"fig4_table1,omitempty"`
+	Fig5       []Fig5RowJSON      `json:"fig5,omitempty"`
+	Table2     []Table2RowJSON    `json:"table2,omitempty"`
+	SmallZone  []SmallZoneRowJSON `json:"smallzone,omitempty"`
+}
+
+// SchemeResultJSON is SchemeResult in wire form.
+type SchemeResultJSON struct {
+	Scheme     string  `json:"scheme"`
+	OpsPerSec  float64 `json:"ops_per_sec"`
+	HitRatio   float64 `json:"hit_ratio"`
+	WAFactor   float64 `json:"wa_factor"`
+	SetP50Ns   int64   `json:"set_p50_ns"`
+	SetP99Ns   int64   `json:"set_p99_ns"`
+	GetP50Ns   int64   `json:"get_p50_ns"`
+	GetP99Ns   int64   `json:"get_p99_ns"`
+	CacheBytes int64   `json:"cache_bytes"`
+	SimTimeNs  int64   `json:"sim_time_ns"`
+	Ops        uint64  `json:"ops"`
+}
+
+// FillRecordJSON is one Figure 3 fill-log entry in wire form.
+type FillRecordJSON struct {
+	Seq        uint64 `json:"seq"`
+	DurationNs int64  `json:"duration_ns"`
+	Evicted    bool   `json:"evicted"`
+}
+
+// Fig3JSON is Fig3Result in wire form, with the full retained fill series.
+type Fig3JSON struct {
+	Label            string           `json:"label"`
+	RegionBytes      int64            `json:"region_bytes"`
+	EvictionOnsetSeq uint64           `json:"eviction_onset_seq"`
+	MeanBeforeNs     int64            `json:"mean_before_ns"`
+	MeanAfterNs      int64            `json:"mean_after_ns"`
+	Records          []FillRecordJSON `json:"records"`
+}
+
+// Fig4RowJSON is Fig4Row in wire form (also carries Table 1: the WA factor
+// lives inside Result).
+type Fig4RowJSON struct {
+	Scheme  string           `json:"scheme"`
+	OPRatio float64          `json:"op_ratio"`
+	Result  SchemeResultJSON `json:"result"`
+}
+
+// Fig5RowJSON is Fig5Row in wire form.
+type Fig5RowJSON struct {
+	Scheme            string  `json:"scheme"`
+	ER                float64 `json:"er"`
+	OpsPerSec         float64 `json:"ops_per_sec"`
+	SecondaryHitRatio float64 `json:"secondary_hit_ratio"`
+	P50Ns             int64   `json:"p50_ns"`
+	P99Ns             int64   `json:"p99_ns"`
+	SimTimeNs         int64   `json:"sim_time_ns"`
+}
+
+// Table2RowJSON is Table2Row in wire form.
+type Table2RowJSON struct {
+	Zones     int     `json:"zones"`
+	CacheGiB  float64 `json:"cache_gib"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	HitRatio  float64 `json:"hit_ratio"`
+}
+
+// SmallZoneRowJSON is SmallZoneRow in wire form.
+type SmallZoneRowJSON struct {
+	Label   string           `json:"label"`
+	ZoneMiB int              `json:"zone_mib"`
+	Result  SchemeResultJSON `json:"result"`
+}
+
+func schemeResultJSON(r SchemeResult) SchemeResultJSON {
+	return SchemeResultJSON{
+		Scheme:     r.Scheme.String(),
+		OpsPerSec:  r.OpsPerSec,
+		HitRatio:   r.HitRatio,
+		WAFactor:   r.WAFactor,
+		SetP50Ns:   int64(r.SetP50),
+		SetP99Ns:   int64(r.SetP99),
+		GetP50Ns:   int64(r.GetP50),
+		GetP99Ns:   int64(r.GetP99),
+		CacheBytes: r.CacheBytes,
+		SimTimeNs:  int64(r.SimTime),
+		Ops:        r.Ops,
+	}
+}
+
+// NewFig2Report wraps Figure 2 rows as a Report.
+func NewFig2Report(rows []SchemeResult) *Report {
+	rep := &Report{Schema: ReportSchema, Experiment: "fig2"}
+	for _, r := range rows {
+		rep.Fig2 = append(rep.Fig2, schemeResultJSON(r))
+	}
+	return rep
+}
+
+// NewFig3Report wraps Figure 3 rows as a Report.
+func NewFig3Report(rows []Fig3Result) *Report {
+	rep := &Report{Schema: ReportSchema, Experiment: "fig3"}
+	for _, r := range rows {
+		j := Fig3JSON{
+			Label:            r.Label,
+			RegionBytes:      r.RegionBytes,
+			EvictionOnsetSeq: r.EvictionOnsetSeq,
+			MeanBeforeNs:     int64(r.MeanBefore),
+			MeanAfterNs:      int64(r.MeanAfter),
+		}
+		for _, rec := range r.Records {
+			j.Records = append(j.Records, FillRecordJSON{
+				Seq: rec.Seq, DurationNs: int64(rec.Duration), Evicted: rec.Evicted,
+			})
+		}
+		rep.Fig3 = append(rep.Fig3, j)
+	}
+	return rep
+}
+
+// NewFig4Table1Report wraps the OP sweep (Figure 4 + Table 1) as a Report.
+func NewFig4Table1Report(rows []Fig4Row) *Report {
+	rep := &Report{Schema: ReportSchema, Experiment: "fig4_table1"}
+	for _, r := range rows {
+		rep.Fig4Table1 = append(rep.Fig4Table1, Fig4RowJSON{
+			Scheme: r.Scheme.String(), OPRatio: r.OPRatio, Result: schemeResultJSON(r.Result),
+		})
+	}
+	return rep
+}
+
+// NewFig5Report wraps Figure 5 rows as a Report.
+func NewFig5Report(rows []Fig5Row) *Report {
+	rep := &Report{Schema: ReportSchema, Experiment: "fig5"}
+	for _, r := range rows {
+		rep.Fig5 = append(rep.Fig5, Fig5RowJSON{
+			Scheme:            r.Scheme.String(),
+			ER:                r.ER,
+			OpsPerSec:         r.OpsPerSec,
+			SecondaryHitRatio: r.SecondaryHitRatio,
+			P50Ns:             int64(r.P50),
+			P99Ns:             int64(r.P99),
+			SimTimeNs:         int64(r.SimTime),
+		})
+	}
+	return rep
+}
+
+// NewTable2Report wraps Table 2 rows as a Report.
+func NewTable2Report(rows []Table2Row) *Report {
+	rep := &Report{Schema: ReportSchema, Experiment: "table2"}
+	for _, r := range rows {
+		rep.Table2 = append(rep.Table2, Table2RowJSON{
+			Zones: r.Zones, CacheGiB: r.CacheGiB, OpsPerSec: r.OpsPerSec, HitRatio: r.HitRatio,
+		})
+	}
+	return rep
+}
+
+// NewSmallZoneReport wraps the small-zone sweep as a Report.
+func NewSmallZoneReport(rows []SmallZoneRow) *Report {
+	rep := &Report{Schema: ReportSchema, Experiment: "smallzone"}
+	for _, r := range rows {
+		rep.SmallZone = append(rep.SmallZone, SmallZoneRowJSON{
+			Label: r.Label, ZoneMiB: r.ZoneMiB, Result: schemeResultJSON(r.Result),
+		})
+	}
+	return rep
+}
+
+// Validate checks the document invariants: the schema tag matches, the
+// experiment is named, and the named experiment's section is the one that is
+// populated.
+func (r *Report) Validate() error {
+	if r.Schema != ReportSchema {
+		return fmt.Errorf("harness: report schema %q, want %q", r.Schema, ReportSchema)
+	}
+	sections := map[string]bool{
+		"fig2":        r.Fig2 != nil,
+		"fig3":        r.Fig3 != nil,
+		"fig4_table1": r.Fig4Table1 != nil,
+		"fig5":        r.Fig5 != nil,
+		"table2":      r.Table2 != nil,
+		"smallzone":   r.SmallZone != nil,
+	}
+	populated, known := sections[r.Experiment]
+	if !known {
+		return fmt.Errorf("harness: report names unknown experiment %q", r.Experiment)
+	}
+	if !populated {
+		return fmt.Errorf("harness: report for %q has no %q section", r.Experiment, r.Experiment)
+	}
+	for name, has := range sections {
+		if has && name != r.Experiment {
+			return fmt.Errorf("harness: report for %q also carries section %q", r.Experiment, name)
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the report to dir/BENCH_<experiment>.json and returns the
+// path.
+func (r *Report) WriteFile(dir string) (string, error) {
+	path := filepath.Join(dir, "BENCH_"+r.Experiment+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", fmt.Errorf("harness: report file: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close() //nolint:errcheck
+		return "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", fmt.Errorf("harness: report file: %w", err)
+	}
+	return path, nil
+}
+
+// ParseReport decodes and validates a report document.
+func ParseReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("harness: parse report: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
 }

@@ -1,0 +1,213 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"znscache/internal/cache"
+)
+
+func sampleSchemeResult(s Scheme) SchemeResult {
+	return SchemeResult{
+		Scheme:     s,
+		OpsPerSec:  123456.5,
+		HitRatio:   0.875,
+		WAFactor:   1.25,
+		SetP50:     90 * time.Microsecond,
+		SetP99:     3 * time.Millisecond,
+		GetP50:     40 * time.Microsecond,
+		GetP99:     900 * time.Microsecond,
+		CacheBytes: 400 << 20,
+		SimTime:    17 * time.Second,
+		Ops:        1_000_000,
+	}
+}
+
+// TestReportRoundTrip locks the wire schema: every builder's document must
+// encode, parse, and compare equal — emit → parse → equal.
+func TestReportRoundTrip(t *testing.T) {
+	reports := map[string]*Report{
+		"fig2": NewFig2Report([]SchemeResult{
+			sampleSchemeResult(ZoneCache), sampleSchemeResult(RegionCache),
+		}),
+		"fig3": NewFig3Report([]Fig3Result{{
+			Label:       "Region-Cache 1 MiB",
+			RegionBytes: 1 << 20,
+			Records: []cache.FillRecord{
+				{Seq: 0, Duration: 5 * time.Millisecond},
+				{Seq: 1, Duration: 80 * time.Millisecond, Evicted: true},
+			},
+			EvictionOnsetSeq: 1,
+			MeanBefore:       5 * time.Millisecond,
+			MeanAfter:        80 * time.Millisecond,
+		}}),
+		"fig4_table1": NewFig4Table1Report([]Fig4Row{
+			{Scheme: BlockCache, OPRatio: 0.1, Result: sampleSchemeResult(BlockCache)},
+		}),
+		"fig5": NewFig5Report([]Fig5Row{{
+			Scheme: FileCache, ER: 25, OpsPerSec: 420.5, SecondaryHitRatio: 0.6,
+			P50: time.Millisecond, P99: 40 * time.Millisecond, SimTime: time.Minute,
+		}}),
+		"table2": NewTable2Report([]Table2Row{
+			{Zones: 5, CacheGiB: 5, OpsPerSec: 300, HitRatio: 0.55},
+		}),
+		"smallzone": NewSmallZoneReport([]SmallZoneRow{
+			{Label: "Zone-Cache 4 MiB", ZoneMiB: 4, Result: sampleSchemeResult(ZoneCache)},
+		}),
+	}
+	for experiment, rep := range reports {
+		if rep.Experiment != experiment {
+			t.Errorf("builder for %q stamped experiment %q", experiment, rep.Experiment)
+		}
+		var buf bytes.Buffer
+		if err := rep.WriteJSON(&buf); err != nil {
+			t.Fatalf("%s: WriteJSON: %v", experiment, err)
+		}
+		parsed, err := ParseReport(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: ParseReport: %v", experiment, err)
+		}
+		if !reflect.DeepEqual(rep, parsed) {
+			t.Errorf("%s: round trip drifted.\nemitted: %+v\nparsed:  %+v", experiment, rep, parsed)
+		}
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	good := NewTable2Report([]Table2Row{{Zones: 4}})
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	bad := *good
+	bad.Schema = "something/else"
+	if err := bad.Validate(); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	bad = *good
+	bad.Experiment = "fig9"
+	if err := bad.Validate(); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	bad = *good
+	bad.Table2 = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("missing section accepted")
+	}
+	bad = *good
+	bad.Fig2 = []SchemeResultJSON{{}}
+	if err := bad.Validate(); err == nil {
+		t.Error("extra section accepted")
+	}
+}
+
+func TestReportWriteFile(t *testing.T) {
+	dir := t.TempDir()
+	rep := NewFig2Report([]SchemeResult{sampleSchemeResult(ZoneCache)})
+	path, err := rep.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := filepath.Base(path), "BENCH_fig2.json"; got != want {
+		t.Fatalf("wrote %q, want %q", got, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Fig2[0].Scheme != "Zone-Cache" || parsed.Fig2[0].SimTimeNs != int64(17*time.Second) {
+		t.Fatalf("parsed file content wrong: %+v", parsed.Fig2[0])
+	}
+	// An invalid document must not reach disk.
+	broken := &Report{Schema: ReportSchema, Experiment: "fig2"}
+	if _, err := broken.WriteFile(dir); err == nil {
+		t.Fatal("sectionless report written without error")
+	}
+}
+
+func TestFig3SampleIndices(t *testing.T) {
+	cases := []struct {
+		n, maxPoints, must int
+	}{
+		{0, 20, 0},
+		{1, 20, 0},
+		{19, 20, 7},
+		{100, 20, 0},
+		{100, 20, 57}, // onset off the stride grid must still appear
+		{100, 20, 99},
+		{100, 20, -1}, // no onset recorded
+		{5000, 20, 4999},
+		{7, 1, 3},
+	}
+	for _, tc := range cases {
+		got := fig3SampleIndices(tc.n, tc.maxPoints, tc.must)
+		if tc.n == 0 {
+			if got != nil {
+				t.Errorf("n=0 returned %v", got)
+			}
+			continue
+		}
+		if !sort.IntsAreSorted(got) {
+			t.Errorf("n=%d must=%d: not sorted: %v", tc.n, tc.must, got)
+		}
+		seen := map[int]bool{}
+		for _, i := range got {
+			if i < 0 || i >= tc.n {
+				t.Errorf("n=%d: index %d out of range", tc.n, i)
+			}
+			if seen[i] {
+				t.Errorf("n=%d: duplicate index %d in %v", tc.n, i, got)
+			}
+			seen[i] = true
+		}
+		if tc.must >= 0 && tc.must < tc.n && !seen[tc.must] {
+			t.Errorf("n=%d: required index %d missing from %v", tc.n, tc.must, got)
+		}
+		if len(got) > tc.maxPoints+2 {
+			t.Errorf("n=%d maxPoints=%d: %d indices sampled", tc.n, tc.maxPoints, len(got))
+		}
+	}
+}
+
+// TestPrintFig3IncludesOnset checks the satellite fix end to end: the
+// rendered series always contains the eviction-onset record, and a run that
+// never evicted prints "n/a" instead of a division by zero.
+func TestPrintFig3IncludesOnset(t *testing.T) {
+	records := make([]cache.FillRecord, 100)
+	for i := range records {
+		records[i] = cache.FillRecord{Seq: uint64(i), Duration: time.Millisecond}
+	}
+	records[57].Evicted = true
+	records[57].Duration = 90 * time.Millisecond
+	var buf bytes.Buffer
+	PrintFig3(&buf, []Fig3Result{{
+		Label:            "onset",
+		RegionBytes:      1 << 20,
+		Records:          records,
+		EvictionOnsetSeq: 57,
+		MeanBefore:       time.Millisecond,
+		MeanAfter:        90 * time.Millisecond,
+	}})
+	if !strings.Contains(buf.String(), "\n  57 ") {
+		t.Fatalf("onset record seq 57 missing from output:\n%s", buf.String())
+	}
+
+	buf.Reset()
+	PrintFig3(&buf, []Fig3Result{{
+		Label:       "no-evictions",
+		RegionBytes: 1 << 20,
+		Records:     records[:5],
+	}})
+	if !strings.Contains(buf.String(), "n/a") {
+		t.Fatalf("zero MeanBefore did not render n/a:\n%s", buf.String())
+	}
+}

@@ -14,12 +14,15 @@ package harness
 
 import (
 	"fmt"
+	"strconv"
+	"sync/atomic"
 
 	"znscache/internal/cache"
 	"znscache/internal/device"
 	"znscache/internal/f2fs"
 	"znscache/internal/flash"
 	"znscache/internal/middle"
+	"znscache/internal/obs"
 	"znscache/internal/sim"
 	"znscache/internal/ssd"
 	"znscache/internal/store"
@@ -147,6 +150,10 @@ type RigConfig struct {
 	Clock *sim.Clock
 	// TrackValues / StoreData enable full-fidelity payloads.
 	TrackValues bool
+	// Trace wires an event tracer through every layer of the rig. Nil falls
+	// back to the process-wide tracer installed with SetTracer (nil there too
+	// disables tracing).
+	Trace *obs.Tracer
 }
 
 func (c *RigConfig) fillDefaults() {
@@ -183,6 +190,8 @@ type Rig struct {
 	Scheme Scheme
 	Engine *cache.Cache
 	Clock  *sim.Clock
+	// Store is the engine's region store (equal to Middle for Region-Cache).
+	Store cache.RegionStore
 
 	// Exactly one device handle is non-nil per scheme pair below.
 	SSD    *ssd.SSD
@@ -191,9 +200,32 @@ type Rig struct {
 	Middle *middle.Layer
 }
 
+// Process-wide observability hooks. The bench binaries install a registry
+// (and optionally a tracer) once at startup; every rig Build() assembles
+// afterwards wires itself in automatically, so sweeps that rebuild rigs per
+// point stay observable without threading the registry through every
+// RunFig*/RunTable* signature. Atomic pointers because experiments build
+// rigs from the forEachPoint worker pool.
+var (
+	globalRegistry atomic.Pointer[obs.Registry]
+	globalTracer   atomic.Pointer[obs.Tracer]
+	rigSeq         atomic.Uint64
+)
+
+// SetMetricsRegistry installs the registry subsequently built rigs register
+// their instruments into (nil uninstalls).
+func SetMetricsRegistry(r *obs.Registry) { globalRegistry.Store(r) }
+
+// SetTracer installs the tracer subsequently built rigs emit events into
+// (nil uninstalls). RigConfig.Trace overrides it per rig.
+func SetTracer(t *obs.Tracer) { globalTracer.Store(t) }
+
 // Build assembles a scheme.
 func Build(cfg RigConfig) (*Rig, error) {
 	cfg.fillDefaults()
+	if cfg.Trace == nil {
+		cfg.Trace = globalTracer.Load()
+	}
 	geo := cfg.HW.Geometry()
 	timing := flash.DefaultTiming()
 	rig := &Rig{Scheme: cfg.Scheme, Clock: cfg.Clock}
@@ -328,6 +360,7 @@ func Build(cfg RigConfig) (*Rig, error) {
 		if err != nil {
 			return nil, fmt.Errorf("harness: middle layer: %w", err)
 		}
+		mid.Trace = cfg.Trace
 		rig.ZNS = dev
 		rig.Middle = mid
 		st = mid
@@ -344,12 +377,44 @@ func Build(cfg RigConfig) (*Rig, error) {
 		TrackValues:  cfg.TrackValues,
 		ReinsertHits: cfg.ReinsertHits,
 		Clock:        cfg.Clock,
+		Trace:        cfg.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: engine: %w", err)
 	}
 	rig.Engine = eng
+	rig.Store = st
+	if reg := globalRegistry.Load(); reg != nil {
+		rig.RegisterMetrics(reg, obs.L("rig", strconv.FormatUint(rigSeq.Add(1), 10)))
+	}
 	return rig, nil
+}
+
+// RegisterMetrics registers every layer of the rig into reg, with a scheme
+// label appended to base. Experiments that rebuild a rig for the same
+// (scheme, rig) label set simply replace the prior series.
+func (r *Rig) RegisterMetrics(reg *obs.Registry, base obs.Labels) {
+	ls := base.With("scheme", r.Scheme.String())
+	r.Engine.MetricsInto(reg, ls)
+	if r.SSD != nil {
+		r.SSD.MetricsInto(reg, ls)
+	}
+	if r.ZNS != nil {
+		r.ZNS.MetricsInto(reg, ls)
+	}
+	if r.FS != nil {
+		r.FS.MetricsInto(reg, ls)
+	}
+	if r.Middle != nil {
+		r.Middle.MetricsInto(reg, ls)
+	}
+	// The store is the middle layer itself for Region-Cache (already
+	// registered above); the package store types register their own trio.
+	if ms, ok := r.Store.(obs.MetricSource); ok {
+		if mid, isMid := r.Store.(*middle.Layer); !isMid || mid != r.Middle {
+			ms.MetricsInto(reg, ls)
+		}
+	}
 }
 
 // dev0ZoneSize computes the zone size without building a device.
@@ -365,6 +430,7 @@ func newZNSDevice(cfg RigConfig, geo flash.Geometry, timing flash.Timing) (*zns.
 	if err != nil {
 		return nil, fmt.Errorf("harness: zns device: %w", err)
 	}
+	dev.Trace = cfg.Trace
 	return dev, nil
 }
 

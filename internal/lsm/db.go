@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"znscache/internal/device"
+	"znscache/internal/obs"
 	"znscache/internal/sim"
 	"znscache/internal/stats"
 )
@@ -510,6 +511,19 @@ func (db *DB) BlockCacheHitRatio() float64 {
 		return 0
 	}
 	return float64(db.blockCache.hits) / float64(tot)
+}
+
+// MetricsInto implements obs.MetricSource: DB latency distributions,
+// flush/compaction activity, and secondary-cache effectiveness.
+func (db *DB) MetricsInto(r *obs.Registry, labels obs.Labels) {
+	ls := labels.With("layer", "lsm")
+	r.Histogram("lsm_get_seconds", "DB Get latency (simulated)", ls, db.GetLat)
+	r.Histogram("lsm_put_seconds", "DB Put latency (simulated)", ls, db.PutLat)
+	r.Counter("lsm_flushes_total", "Memtable flushes", ls, &db.Flushes)
+	r.Counter("lsm_compactions_total", "Compaction passes", ls, &db.Compactions)
+	r.Counter("lsm_disk_reads_total", "Data-block disk reads", ls, &db.DiskReads)
+	r.Counter("lsm_secondary_lookups_total", "Secondary-cache lookups", ls, &db.SecondaryLookups)
+	r.Counter("lsm_secondary_hits_total", "Secondary-cache hits", ls, &db.SecondaryHits)
 }
 
 // SecondaryHitRatio reports hits over lookups of the secondary cache.

@@ -35,6 +35,7 @@ import (
 
 	"znscache/internal/cache"
 	"znscache/internal/device"
+	"znscache/internal/obs"
 	"znscache/internal/sim"
 	"znscache/internal/stats"
 	"znscache/internal/zns"
@@ -122,6 +123,8 @@ type Layer struct {
 	Migrated stats.Counter // regions migrated by GC
 	Dropped  stats.Counter // regions dropped by the co-design filter
 	Resets   stats.Counter
+	// Trace receives GC victim/migrate/drop events; nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // New builds the layer over a ZNS device.
@@ -404,6 +407,12 @@ func (l *Layer) pickVictimLocked() (int, bool) {
 func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
 	delete(l.full, victim)
 	zm := &l.zones[victim]
+	if l.Trace != nil {
+		l.Trace.Emit(obs.Event{
+			T: now, Type: obs.EvGCVictim, Zone: int32(victim), Region: -1,
+			Bytes: int64(bits.OnesCount64(zm.bitmap)),
+		})
+	}
 	cur := now
 	for slot := 0; slot < l.regionsPerZone; slot++ {
 		if zm.bitmap&(1<<uint(slot)) == 0 {
@@ -414,6 +423,9 @@ func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
 		if l.cfg.DropFilter != nil && l.cfg.DropFilter(id) {
 			l.invalidateLocked(id)
 			l.Dropped.Inc()
+			if l.Trace != nil {
+				l.Trace.Emit(obs.Event{T: cur, Type: obs.EvGCDrop, Zone: int32(victim), Region: int32(id)})
+			}
 			if l.cfg.OnDrop != nil {
 				l.OnDropAsync(id)
 			}
@@ -438,6 +450,12 @@ func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
 		cur += rlat + wlat
 		l.WA.AddMedia(uint64(l.cfg.RegionSize))
 		l.Migrated.Inc()
+		if l.Trace != nil {
+			l.Trace.Emit(obs.Event{
+				T: cur, Type: obs.EvGCMigrate, Zone: int32(victim),
+				Region: int32(id), Bytes: l.cfg.RegionSize,
+			})
+		}
 	}
 	if _, err := l.dev.Reset(cur, victim); err != nil {
 		return fmt.Errorf("middle: GC reset: %w", err)
@@ -458,6 +476,23 @@ func (l *Layer) OnDropAsync(id int) {
 	if l.cfg.OnDrop != nil {
 		l.cfg.OnDrop(id)
 	}
+}
+
+// MetricsInto implements obs.MetricSource: the layer's write amplification,
+// GC activity counters, and pool-health gauges.
+func (l *Layer) MetricsInto(r *obs.Registry, labels obs.Labels) {
+	ls := labels.With("layer", "middle")
+	r.WriteAmp("middle_wa", "Middle-layer write amplification", ls, &l.WA)
+	r.Counter("middle_gc_runs_total", "GC reclaim passes", ls, &l.GCRuns)
+	r.Counter("middle_gc_migrated_regions_total", "Live regions migrated by GC", ls, &l.Migrated)
+	r.Counter("middle_gc_dropped_regions_total", "Regions dropped by the co-design filter", ls, &l.Dropped)
+	r.Counter("middle_zone_resets_total", "Zones reclaimed (reset) by GC", ls, &l.Resets)
+	r.Gauge("middle_empty_zones", "Zones in the reclaimable pool", ls, func() float64 {
+		return float64(l.EmptyZones())
+	})
+	r.Gauge("middle_mapped_regions", "Regions with a live device mapping", ls, func() float64 {
+		return float64(l.MappedRegions())
+	})
 }
 
 // ZoneValidRatio reports the live fraction of a zone (tests, zonectl).

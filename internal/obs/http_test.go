@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"znscache/internal/stats"
+)
+
+func TestMuxMetricsEndpoint(t *testing.T) {
+	r := NewRegistry()
+	var c stats.Counter
+	c.Add(9)
+	r.Counter("zns_zone_resets_total", "Zone resets", L("zone", "2"), &c)
+	mux := NewMux(r)
+
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("/metrics status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("/metrics content-type %q", ct)
+	}
+	body := rec.Body.String()
+	if !strings.Contains(body, `zns_zone_resets_total{zone="2"} 9`) {
+		t.Fatalf("/metrics missing series:\n%s", body)
+	}
+
+	// The registry stays live: a series registered after the mux was built
+	// appears on the next scrape.
+	r.Gauge("zns_open_zones", "", nil, func() float64 { return 1 })
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if !strings.Contains(rec.Body.String(), "zns_open_zones 1") {
+		t.Fatalf("late-registered series missing:\n%s", rec.Body.String())
+	}
+}
+
+func TestMuxDebugEndpoints(t *testing.T) {
+	mux := NewMux(NewRegistry())
+	for _, path := range []string{"/debug/vars", "/debug/pprof/", "/"} {
+		rec := httptest.NewRecorder()
+		mux.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusOK {
+			t.Errorf("%s status %d", path, rec.Code)
+		}
+	}
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/vars", nil))
+	if !strings.Contains(rec.Body.String(), `"znscache"`) {
+		t.Fatalf("/debug/vars missing the published registry:\n%s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	mux.ServeHTTP(rec, httptest.NewRequest("GET", "/nope", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", rec.Code)
+	}
+}
+
+func TestStartServer(t *testing.T) {
+	r := NewRegistry()
+	r.CounterFunc("up", "", nil, func() uint64 { return 1 })
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close() //nolint:errcheck
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close() //nolint:errcheck
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "up 1") {
+		t.Fatalf("served metrics missing series:\n%s", body)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

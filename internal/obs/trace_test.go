@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(Event{Type: EvZoneReset})
+	tr.Reset()
+	if tr.Total() != 0 {
+		t.Fatal("nil tracer reported nonzero total")
+	}
+	if tr.Events() != nil {
+		t.Fatal("nil tracer returned events")
+	}
+}
+
+func TestTracerRingOverwrite(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{T: time.Duration(i), Type: EvAdmit})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("retained %d events, want 4", len(events))
+	}
+	// Newest 4, oldest first: T = 6, 7, 8, 9.
+	for i, e := range events {
+		if want := time.Duration(6 + i); e.T != want {
+			t.Fatalf("events[%d].T = %d, want %d", i, e.T, want)
+		}
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{Type: EvEvict})
+	tr.Reset()
+	if len(tr.Events()) != 0 {
+		t.Fatal("Reset left events behind")
+	}
+	if tr.Total() != 1 {
+		t.Fatalf("Reset cleared the lifetime total: %d", tr.Total())
+	}
+}
+
+type recordingSink struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (s *recordingSink) TraceEvent(e Event) {
+	s.mu.Lock()
+	s.events = append(s.events, e)
+	s.mu.Unlock()
+}
+
+func TestTracerSink(t *testing.T) {
+	tr := NewTracer(2)
+	sink := &recordingSink{}
+	tr.SetSink(sink)
+	tr.Emit(Event{Type: EvGCVictim, Zone: 5})
+	tr.SetSink(nil)
+	tr.Emit(Event{Type: EvGCMigrate})
+	if len(sink.events) != 1 || sink.events[0].Zone != 5 {
+		t.Fatalf("sink saw %+v, want the single pre-detach event", sink.events)
+	}
+}
+
+func TestTracerWriteJSON(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Emit(Event{T: 1500, Type: EvZoneReset, Zone: 3, Region: -1, Bytes: 4096})
+	tr.Emit(Event{T: 2500, Type: EvRegionSeal, Zone: -1, Region: 7, Bytes: 1 << 20})
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []struct {
+		TimeNs int64  `json:"t_ns"`
+		Type   string `json:"type"`
+		Zone   int32  `json:"zone"`
+		Region int32  `json:"region"`
+		Bytes  int64  `json:"bytes"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 2 {
+		t.Fatalf("decoded %d events, want 2", len(decoded))
+	}
+	if decoded[0].Type != "zone_reset" || decoded[0].Zone != 3 || decoded[0].TimeNs != 1500 {
+		t.Fatalf("first event = %+v", decoded[0])
+	}
+	if decoded[1].Type != "region_seal" || decoded[1].Region != 7 || decoded[1].Bytes != 1<<20 {
+		t.Fatalf("second event = %+v", decoded[1])
+	}
+}
+
+func TestEventTypeNames(t *testing.T) {
+	named := map[EventType]string{
+		EvZoneReset: "zone_reset", EvZoneFinish: "zone_finish",
+		EvRegionSeal: "region_seal", EvGCVictim: "gc_victim",
+		EvGCMigrate: "gc_migrate", EvGCDrop: "gc_drop",
+		EvAdmit: "admit", EvReject: "reject", EvEvict: "evict",
+	}
+	for ty, want := range named {
+		if got := ty.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", ty, got, want)
+		}
+	}
+	if got := EventType(200).String(); got != "EventType(200)" {
+		t.Errorf("unknown type rendered %q", got)
+	}
+}
+
+// TestTracerConcurrent hammers one tracer from several goroutines under
+// -race; the sharded frontend emits from concurrent shards.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(64)
+	tr.SetSink(&recordingSink{})
+	var wg sync.WaitGroup
+	const goroutines, per = 8, 1000
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Emit(Event{T: time.Duration(i), Type: EvAdmit})
+			}
+		}()
+	}
+	for i := 0; i < 100; i++ {
+		tr.Events()
+		tr.Total()
+	}
+	wg.Wait()
+	if tr.Total() != goroutines*per {
+		t.Fatalf("total = %d, want %d", tr.Total(), goroutines*per)
+	}
+	if len(tr.Events()) != 64 {
+		t.Fatalf("retained %d, want full ring of 64", len(tr.Events()))
+	}
+}

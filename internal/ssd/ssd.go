@@ -22,6 +22,7 @@ import (
 
 	"znscache/internal/device"
 	"znscache/internal/flash"
+	"znscache/internal/obs"
 	"znscache/internal/stats"
 )
 
@@ -436,6 +437,19 @@ func (s *SSD) FreeBlocks() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.freeBlks)
+}
+
+// MetricsInto implements obs.MetricSource: the FTL's write amplification,
+// GC run count, free-block gauge, and the GC-stall latency distribution that
+// carries the paper's Block-Cache tail-latency story.
+func (s *SSD) MetricsInto(r *obs.Registry, labels obs.Labels) {
+	ls := labels.With("layer", "ssd")
+	r.WriteAmp("ssd_wa", "FTL write amplification", ls, &s.WA)
+	r.Counter("ssd_gc_runs_total", "Device GC collection passes", ls, &s.GCRuns)
+	r.Histogram("ssd_gc_stall_seconds", "GC stall absorbed by host writes", ls, s.GCStalls)
+	r.Gauge("ssd_free_blocks", "Blocks in the FTL free pool", ls, func() float64 {
+		return float64(s.FreeBlocks())
+	})
 }
 
 // MappedSectors reports how many logical sectors currently hold data.

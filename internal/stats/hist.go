@@ -129,14 +129,19 @@ func (h *Histogram) Min() time.Duration {
 // slightly overestimates; that bias is consistent across schemes and does
 // not affect comparisons. Returns 0 for an empty histogram.
 func (h *Histogram) Percentile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.percentileLocked(q)
+}
+
+// percentileLocked computes a quantile with h.mu held.
+func (h *Histogram) percentileLocked(q float64) time.Duration {
 	if q < 0 {
 		q = 0
 	}
 	if q > 1 {
 		q = 1
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	if h.total == 0 {
 		return 0
 	}
@@ -161,17 +166,27 @@ func (h *Histogram) Percentile(q float64) time.Duration {
 	return h.max
 }
 
-// Snapshot returns an immutable copy of headline statistics.
+// Snapshot returns an immutable copy of headline statistics. All fields are
+// computed under one lock acquisition, so the snapshot is internally
+// consistent even while other goroutines Observe concurrently: the
+// percentiles, mean, and max all describe the same sample population (a
+// per-field locking scheme could report a P99 above Max).
 func (h *Histogram) Snapshot() HistSnapshot {
-	return HistSnapshot{
-		Count: h.Count(),
-		Mean:  h.Mean(),
-		P50:   h.Percentile(0.50),
-		P90:   h.Percentile(0.90),
-		P99:   h.Percentile(0.99),
-		P999:  h.Percentile(0.999),
-		Max:   h.Max(),
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{
+		Count: h.total,
+		Sum:   h.sum,
+		P50:   h.percentileLocked(0.50),
+		P90:   h.percentileLocked(0.90),
+		P99:   h.percentileLocked(0.99),
+		P999:  h.percentileLocked(0.999),
 	}
+	if h.total > 0 {
+		s.Mean = h.sum / time.Duration(h.total)
+		s.Max = h.max
+	}
+	return s
 }
 
 // Merge folds all of other's samples into h. Bucket boundaries are shared by
@@ -224,6 +239,7 @@ func (h *Histogram) Reset() {
 // HistSnapshot is a point-in-time summary of a Histogram.
 type HistSnapshot struct {
 	Count                     uint64
+	Sum                       time.Duration
 	Mean, P50, P90, P99, P999 time.Duration
 	Max                       time.Duration
 }

@@ -322,3 +322,45 @@ func TestHistogramMergeConcurrent(t *testing.T) {
 		t.Fatalf("concurrent merge lost samples: %d", sink.Count())
 	}
 }
+
+// TestHistogramSnapshotConsistent verifies that Snapshot is computed under a
+// single lock acquisition: while writers observe a fixed value concurrently,
+// every snapshot's fields must describe one sample population — mean derived
+// from the snapshot's own sum and count, and percentiles never above max.
+func TestHistogramSnapshotConsistent(t *testing.T) {
+	h := NewHistogram()
+	const val = 250 * time.Microsecond
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(val)
+				}
+			}
+		}()
+	}
+	for i := 0; i < 2000; i++ {
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		if want := s.Sum / time.Duration(s.Count); s.Mean != want {
+			t.Fatalf("torn snapshot: mean %v but sum/count = %v (%+v)", s.Mean, want, s)
+		}
+		if s.P50 > s.P90 || s.P90 > s.P99 || s.P99 > s.P999 {
+			t.Fatalf("torn snapshot: percentiles not monotone: %+v", s)
+		}
+		if s.P999 > s.Max {
+			t.Fatalf("torn snapshot: P999 %v above max %v", s.P999, s.Max)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -7,6 +7,8 @@ import (
 	"znscache/internal/cache"
 	"znscache/internal/device"
 	"znscache/internal/f2fs"
+	"znscache/internal/obs"
+	"znscache/internal/stats"
 )
 
 // FileStore keeps regions inside one large preallocated file on the
@@ -19,6 +21,11 @@ type FileStore struct {
 	regionSize int64
 	numRegions int
 	scratch    []byte
+
+	// Observability.
+	RegionWrites stats.Counter
+	RegionReads  stats.Counter
+	Evictions    stats.Counter
 }
 
 // NewFileStore builds a store over file. If numRegions is 0 the file is
@@ -59,6 +66,7 @@ func (s *FileStore) WriteRegion(now time.Duration, id int, data []byte) (time.Du
 	if err := s.check(id, 0, int(s.regionSize)); err != nil {
 		return 0, err
 	}
+	s.RegionWrites.Inc()
 	return s.file.WriteAt(now, data, int(s.regionSize), int64(id)*s.regionSize)
 }
 
@@ -73,6 +81,7 @@ func (s *FileStore) ReadRegion(now time.Duration, id int, p []byte, n int, off i
 		}
 		p = s.scratch[:n]
 	}
+	s.RegionReads.Inc()
 	return s.file.ReadAt(now, p[:n], int64(id)*s.regionSize+off)
 }
 
@@ -80,7 +89,14 @@ func (s *FileStore) ReadRegion(now time.Duration, id int, p []byte, n int, off i
 // file range is overwritten in place by the next flush; the filesystem only
 // learns the old blocks are dead when the overwrite lands.
 func (s *FileStore) EvictRegion(time.Duration, int) (time.Duration, error) {
+	s.Evictions.Inc()
 	return 0, nil
+}
+
+// MetricsInto implements obs.MetricSource.
+func (s *FileStore) MetricsInto(r *obs.Registry, labels obs.Labels) {
+	registerStoreMetrics(r, labels.With("layer", "store").With("store", "file"),
+		&s.RegionWrites, &s.RegionReads, &s.Evictions)
 }
 
 // WriteSyncCost implements cache.SyncCoster: a region flush through the

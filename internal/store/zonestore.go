@@ -5,6 +5,8 @@ import (
 	"time"
 
 	"znscache/internal/cache"
+	"znscache/internal/obs"
+	"znscache/internal/stats"
 	"znscache/internal/zns"
 )
 
@@ -17,6 +19,11 @@ type ZoneStore struct {
 	dev        *zns.Device
 	numRegions int
 	scratch    []byte
+
+	// Observability.
+	RegionWrites stats.Counter
+	RegionReads  stats.Counter
+	Evictions    stats.Counter
 }
 
 // NewZoneStore builds the store. If numRegions is 0, every zone of the
@@ -54,6 +61,7 @@ func (s *ZoneStore) WriteRegion(now time.Duration, id int, data []byte) (time.Du
 	if err := s.check(id, 0, int(s.dev.ZoneSize())); err != nil {
 		return 0, err
 	}
+	s.RegionWrites.Inc()
 	return s.dev.Write(now, data, int(s.dev.ZoneSize()), int64(id)*s.dev.ZoneSize())
 }
 
@@ -68,6 +76,7 @@ func (s *ZoneStore) ReadRegion(now time.Duration, id int, p []byte, n int, off i
 		}
 		p = s.scratch[:n]
 	}
+	s.RegionReads.Inc()
 	return s.dev.Read(now, p[:n], int64(id)*s.dev.ZoneSize()+off)
 }
 
@@ -78,7 +87,14 @@ func (s *ZoneStore) EvictRegion(now time.Duration, id int) (time.Duration, error
 	if id < 0 || id >= s.numRegions {
 		return 0, fmt.Errorf("%w: %d", ErrRegion, id)
 	}
+	s.Evictions.Inc()
 	return s.dev.Reset(now, id)
+}
+
+// MetricsInto implements obs.MetricSource.
+func (s *ZoneStore) MetricsInto(r *obs.Registry, labels obs.Labels) {
+	registerStoreMetrics(r, labels.With("layer", "store").With("store", "zone"),
+		&s.RegionWrites, &s.RegionReads, &s.Evictions)
 }
 
 // Device exposes the underlying ZNS device for stats.

@@ -13,11 +13,13 @@ package zns
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
 	"znscache/internal/device"
 	"znscache/internal/flash"
+	"znscache/internal/obs"
 	"znscache/internal/sim"
 	"znscache/internal/stats"
 )
@@ -114,6 +116,8 @@ type Device struct {
 	Resets     stats.Counter
 	Appends    stats.Counter
 	Finishes   stats.Counter
+	// Trace receives zone lifecycle events; nil disables tracing.
+	Trace *obs.Tracer
 }
 
 // New builds the device with every zone empty.
@@ -381,10 +385,14 @@ func (d *Device) Reset(now time.Duration, z int) (time.Duration, error) {
 	if d.state[z] == ZoneOpen {
 		d.open--
 	}
+	wasWritten := d.wp[z] * device.SectorSize
 	d.state[z] = ZoneEmpty
 	d.wp[z] = 0
 	d.reset[z]++
 	d.mu.Unlock()
+	if d.Trace != nil {
+		d.Trace.Emit(obs.Event{T: now, Type: obs.EvZoneReset, Zone: int32(z), Region: -1, Bytes: wasWritten})
+	}
 
 	// Erase the zone's blocks; they sit on different dies and proceed in
 	// parallel, so the reset cost is ~one block-erase of queueing.
@@ -414,7 +422,6 @@ func (d *Device) Finish(now time.Duration, z int) (time.Duration, error) {
 		return 0, fmt.Errorf("%w: %d", ErrZoneRange, z)
 	}
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	if d.state[z] == ZoneOpen {
 		d.open--
 	}
@@ -425,6 +432,10 @@ func (d *Device) Finish(now time.Duration, z int) (time.Duration, error) {
 	d.wp[z] = d.zoneSize / device.SectorSize
 	d.state[z] = ZoneFull
 	d.Finishes.Inc()
+	d.mu.Unlock()
+	if d.Trace != nil {
+		d.Trace.Emit(obs.Event{T: now, Type: obs.EvZoneFinish, Zone: int32(z), Region: -1})
+	}
 	return 0, nil
 }
 
@@ -439,6 +450,40 @@ func (d *Device) fillHolesLocked(z int) {
 	for s := d.wp[z]; s < sectorsPerZone; s++ {
 		// Ignore errors: pages beyond current write front only.
 		d.array.Program(0, d.addrFor(z, s), nil) //nolint:errcheck
+	}
+}
+
+// MetricsInto implements obs.MetricSource: aggregate device counters plus a
+// per-zone state/write-pointer/reset-count gauge set, which is what zonectl's
+// watch mode and the Prometheus exposition render as the zone map. The
+// per-zone closures read through ZoneInfo and are scrape-safe mid-run.
+func (d *Device) MetricsInto(r *obs.Registry, labels obs.Labels) {
+	ls := labels.With("layer", "zns")
+	r.Counter("zns_host_write_bytes_total", "Bytes written by the host to the ZNS device", ls, &d.HostWrites)
+	r.Counter("zns_zone_resets_total", "Zone reset commands executed", ls, &d.Resets)
+	r.Counter("zns_zone_appends_total", "Zone append commands executed", ls, &d.Appends)
+	r.Counter("zns_zone_finishes_total", "Zone finish commands executed", ls, &d.Finishes)
+	r.Gauge("zns_open_zones", "Zones currently in the open state", ls, func() float64 {
+		return float64(d.OpenZones())
+	})
+	r.Gauge("zns_zones", "Total zones exposed by the device", ls, func() float64 {
+		return float64(d.numZones)
+	})
+	for z := 0; z < d.numZones; z++ {
+		z := z
+		zl := ls.With("zone", strconv.Itoa(z))
+		r.Gauge("zns_zone_state", "Zone state (0=empty 1=open 2=closed 3=full)", zl, func() float64 {
+			info, _ := d.ZoneInfo(z)
+			return float64(info.State)
+		})
+		r.Gauge("zns_zone_wp_bytes", "Zone write pointer as bytes from zone start", zl, func() float64 {
+			info, _ := d.ZoneInfo(z)
+			return float64(info.WP)
+		})
+		r.Gauge("zns_zone_reset_count", "Lifecycle resets of this zone (wear proxy)", zl, func() float64 {
+			info, _ := d.ZoneInfo(z)
+			return float64(info.Resets)
+		})
 	}
 }
 
