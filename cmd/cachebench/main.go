@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"znscache/internal/fault"
 	"znscache/internal/harness"
 	"znscache/internal/obs"
 	"znscache/internal/workload"
@@ -38,8 +39,22 @@ func main() {
 		jsonDir     = flag.String("json", "", "also write BENCH_<experiment>.json report files into this directory")
 		eventsFile  = flag.String("events", "", "record device/cache events and write them as JSON to this file")
 		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "event ring capacity for -events (newest kept)")
+		faultRate   = flag.Float64("faults", 0, "inject device faults (errors, torn writes, latency spikes) at this per-op rate under every scheme")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for the -faults schedule")
 	)
 	flag.Parse()
+
+	if *faultRate > 0 {
+		harness.SetFaultConfig(&fault.Config{
+			Seed:             *faultSeed,
+			ReadErrorRate:    *faultRate,
+			WriteErrorRate:   *faultRate,
+			ResetErrorRate:   *faultRate,
+			TornWriteRate:    *faultRate,
+			LatencySpikeRate: *faultRate,
+		})
+		fmt.Fprintf(os.Stderr, "fault injection armed: rate %g, seed %d\n", *faultRate, *faultSeed)
+	}
 
 	reg := obs.NewRegistry()
 	if *metricsAddr != "" {

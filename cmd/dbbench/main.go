@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"znscache/internal/fault"
 	"znscache/internal/harness"
 	"znscache/internal/obs"
 )
@@ -27,8 +28,22 @@ func main() {
 		seed        = flag.Uint64("seed", 0, "override workload seed")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address while running")
 		jsonDir     = flag.String("json", "", "also write BENCH_<experiment>.json report files into this directory")
+		faultRate   = flag.Float64("faults", 0, "inject device faults (errors, torn writes, latency spikes) at this per-op rate under every scheme")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for the -faults schedule")
 	)
 	flag.Parse()
+
+	if *faultRate > 0 {
+		harness.SetFaultConfig(&fault.Config{
+			Seed:             *faultSeed,
+			ReadErrorRate:    *faultRate,
+			WriteErrorRate:   *faultRate,
+			ResetErrorRate:   *faultRate,
+			TornWriteRate:    *faultRate,
+			LatencySpikeRate: *faultRate,
+		})
+		fmt.Fprintf(os.Stderr, "fault injection armed: rate %g, seed %d\n", *faultRate, *faultSeed)
+	}
 
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()

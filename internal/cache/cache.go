@@ -147,6 +147,23 @@ type Config struct {
 	// Trace receives admission, seal, and eviction events; nil (the default)
 	// disables tracing at the cost of one pointer test per event site.
 	Trace *obs.Tracer
+	// MaxRetries bounds the extra attempts after a failed store write, read,
+	// or evict before the engine gives the region up (default 2; negative
+	// disables retries). Retries back off on the virtual clock.
+	MaxRetries int
+	// RetryBackoff is the first inter-attempt backoff, doubling per retry
+	// (default 100µs).
+	RetryBackoff time.Duration
+	// QuarantineAfter is how many exhausted-retry failures a region may
+	// accumulate before it is quarantined — withdrawn from allocation and
+	// eviction so a bad zone/region stops eating retries (default 3;
+	// negative disables quarantine).
+	QuarantineAfter int
+	// SkipChecksum disables on-flash checksum verification on sealed-region
+	// reads. Only the crash harness's mutation check sets it: it proves the
+	// checksum is what stands between corrupt recovery metadata and wrong
+	// data being served.
+	SkipChecksum bool
 }
 
 // defaultFillLogCap bounds the fill log unless Config.FillLogCap overrides
@@ -180,6 +197,10 @@ const (
 	regionOpen
 	regionFlushing
 	regionSealed
+	// regionQuarantined withdraws a region whose store kept failing: it is
+	// never allocated, flushed to, or evicted again. The capacity loss is
+	// the price of keeping the cache serving around a bad zone.
+	regionQuarantined
 )
 
 // regionMeta tracks one region slot.
@@ -192,6 +213,7 @@ type regionMeta struct {
 	openedAt  time.Duration
 	elem      *list.Element // position in eviction order (sealed/flushing)
 	buf       []byte        // non-nil while open/flushing and TrackValues
+	fails     int           // exhausted-retry failures; quarantine trigger
 }
 
 // FillRecord is one entry of the Figure 3 log: how long it took to fill a
@@ -213,6 +235,10 @@ type Stats struct {
 	CoDesignDrops          uint64
 	AdmitRejects           uint64
 	HostWriteBytes         uint64
+	StoreRetries           uint64
+	Quarantined            uint64
+	LostKeys               uint64
+	RestoreDrops           uint64
 	GetLatency, SetLatency stats.HistSnapshot
 	SimulatedTime          time.Duration
 }
@@ -279,6 +305,10 @@ type Cache struct {
 	flushes     stats.Counter
 	rejects     stats.Counter
 	hostBytes   stats.Counter
+	retriesCtr  stats.Counter // store operations retried after an error
+	quarantines stats.Counter // regions withdrawn after repeated failures
+	lostKeys    stats.Counter // keys dropped because their bytes became unreachable
+	restoreDrop stats.Counter // snapshot entries dropped by the Restore repair pass
 	// EvictedKeys is called (if set) with every key dropped by a region
 	// eviction — used by integrations that must mirror the cache contents.
 	EvictedKeys func(keys []string)
@@ -310,6 +340,21 @@ func New(cfg Config) (*Cache, error) {
 	}
 	if cfg.FillLogCap == 0 {
 		cfg.FillLogCap = defaultFillLogCap
+	}
+	switch {
+	case cfg.MaxRetries == 0:
+		cfg.MaxRetries = 2
+	case cfg.MaxRetries < 0:
+		cfg.MaxRetries = 0
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 100 * time.Microsecond
+	}
+	switch {
+	case cfg.QuarantineAfter == 0:
+		cfg.QuarantineAfter = 3
+	case cfg.QuarantineAfter < 0:
+		cfg.QuarantineAfter = 0
 	}
 	n := cfg.Store.NumRegions()
 	c := &Cache{
@@ -460,6 +505,93 @@ func itemChecksum(key string, value []byte) uint64 {
 	return h.Sum64()
 }
 
+// retryStore runs one store operation with bounded retries: up to
+// Config.MaxRetries extra attempts, backing the virtual clock off between
+// them (doubling from Config.RetryBackoff). It returns the last attempt's
+// latency and error; transient injected faults usually clear within the
+// budget, persistent ones surface to the caller's degradation path.
+func (c *Cache) retryStore(op func(now time.Duration) (time.Duration, error)) (time.Duration, error) {
+	backoff := c.cfg.RetryBackoff
+	for attempt := 0; ; attempt++ {
+		lat, err := op(c.clock.Now())
+		if err == nil || attempt >= c.cfg.MaxRetries {
+			return lat, err
+		}
+		c.retriesCtr.Inc()
+		c.clock.Advance(backoff)
+		backoff *= 2
+	}
+}
+
+// regionFailed charges one exhausted-retry failure to region id and reports
+// whether it crossed the quarantine threshold (the caller decides what
+// quarantining means for the region's current state).
+func (c *Cache) regionFailed(id int) bool {
+	m := &c.regions[id]
+	m.fails++
+	return c.cfg.QuarantineAfter > 0 && m.fails >= c.cfg.QuarantineAfter
+}
+
+// dropRegionKeys removes every index entry still pointing at region id,
+// counting each as a fault-lost key, and notifies EvictedKeys so mirrors
+// stay consistent. Used by the degradation paths; the data is gone (or
+// untrustworthy), and a lost key is a miss, never wrong data.
+func (c *Cache) dropRegionKeys(id int) {
+	m := &c.regions[id]
+	var dropped []string
+	wantDropped := c.EvictedKeys != nil
+	m.keys.each(func(kb []byte) bool {
+		if e, ok := c.index[string(kb)]; ok && int(e.region) == id {
+			delete(c.index, string(kb))
+			c.lostKeys.Inc()
+			if wantDropped {
+				dropped = append(dropped, string(kb))
+			}
+		}
+		return true
+	})
+	if wantDropped && len(dropped) > 0 {
+		c.EvictedKeys(dropped)
+	}
+	m.keys.reset()
+	m.live = 0
+	m.fill = 0
+}
+
+// quarantineSealed withdraws a sealed region after repeated read failures:
+// its keys are dropped (accounted as lost), it leaves the eviction order,
+// and it never hosts data again.
+func (c *Cache) quarantineSealed(id int) {
+	m := &c.regions[id]
+	c.dropRegionKeys(id)
+	if m.elem != nil {
+		c.order.Remove(m.elem)
+		c.orderVer++
+		m.elem = nil
+	}
+	m.state = regionQuarantined
+	c.quarantines.Inc()
+}
+
+// loseKey drops key (index entry e) after its sealed bytes proved
+// unreadable or unverifiable, and charges the failure to its region —
+// quarantining the region once it exhausts its budget.
+func (c *Cache) loseKey(key string, e entry) {
+	delete(c.index, key)
+	id := int(e.region)
+	m := &c.regions[id]
+	if m.live > 0 {
+		m.live--
+	}
+	c.lostKeys.Inc()
+	if c.EvictedKeys != nil {
+		c.EvictedKeys([]string{key})
+	}
+	if c.regionFailed(id) && m.state == regionSealed {
+		c.quarantineSealed(id)
+	}
+}
+
 // rollRegion flushes the open region and installs a fresh one, evicting the
 // policy victim when the free list is empty. This is the only place the
 // engine stalls: on pipeline saturation and on eviction bookkeeping.
@@ -488,29 +620,44 @@ func (c *Cache) rollRegion() error {
 	}
 
 	now := c.clock.Now()
-	lat, err := c.store.WriteRegion(now, id, m.buf)
+	lat, err := c.retryStore(func(t time.Duration) (time.Duration, error) {
+		return c.store.WriteRegion(t, id, m.buf)
+	})
 	if err != nil {
-		return fmt.Errorf("cache: flush region %d: %w", id, err)
-	}
-	// The synchronous share of the flush (filesystem CPU, a device GC
-	// stall inside the write syscall) occupies this thread even though the
-	// device write itself is pipelined.
-	if sc, ok := c.store.(SyncCoster); ok {
-		c.clock.Advance(sc.WriteSyncCost())
-	}
-	c.flushes.Inc()
-	if c.trace != nil {
-		c.trace.Emit(obs.Event{T: now, Type: obs.EvRegionSeal, Zone: -1, Region: int32(id), Bytes: m.fill})
-	}
-	m.state = regionFlushing
-	m.flushDone = now + lat
-	m.elem = c.order.PushFront(id)
-	c.orderVer++
-	if c.maxInflight == 0 {
-		// No spare buffer: the flush completes synchronously.
-		c.completeFlush(id)
+		// Availability first, CacheLib-style: a flush that keeps failing
+		// loses the buffer's keys (misses, accounted below — never wrong
+		// data) and the engine moves on with a fresh region. The failed
+		// region returns to the free pool, or is quarantined once it has
+		// burned its failure budget.
+		c.dropRegionKeys(id)
+		if c.regionFailed(id) {
+			m.state = regionQuarantined
+			c.quarantines.Inc()
+		} else {
+			m.state = regionFree
+			c.free = append(c.free, id)
+		}
 	} else {
-		c.inflight = append(c.inflight, id)
+		// The synchronous share of the flush (filesystem CPU, a device GC
+		// stall inside the write syscall) occupies this thread even though
+		// the device write itself is pipelined.
+		if sc, ok := c.store.(SyncCoster); ok {
+			c.clock.Advance(sc.WriteSyncCost())
+		}
+		c.flushes.Inc()
+		if c.trace != nil {
+			c.trace.Emit(obs.Event{T: now, Type: obs.EvRegionSeal, Zone: -1, Region: int32(id), Bytes: m.fill})
+		}
+		m.state = regionFlushing
+		m.flushDone = c.clock.Now() + lat
+		m.elem = c.order.PushFront(id)
+		c.orderVer++
+		if c.maxInflight == 0 {
+			// No spare buffer: the flush completes synchronously.
+			c.completeFlush(id)
+		} else {
+			c.inflight = append(c.inflight, id)
+		}
 	}
 
 	// Find the next region: free list first, then evict the LRU victim.
@@ -565,10 +712,31 @@ func (c *Cache) completeFlush(id int) {
 // evictVictim drops the least-recently-used sealed region and returns its
 // id for reuse. Every key the region still indexes is removed — the
 // region-granular eviction CacheLib uses to avoid item-level flash GC.
+// A victim whose store-side evict keeps failing is quarantined and the
+// next victim is tried; eviction itself must not fail transiently.
 func (c *Cache) evictVictim() (int, []reinsertItem, error) {
+	for {
+		id, reinsert, err := c.evictOnce()
+		if err == nil || id < 0 {
+			return id, reinsert, err
+		}
+		m := &c.regions[id]
+		m.fails++
+		m.state = regionQuarantined
+		m.keys.reset()
+		m.live = 0
+		m.fill = 0
+		c.quarantines.Inc()
+	}
+}
+
+// evictOnce evicts the current LRU victim. On a store failure it returns
+// the victim's id (index already cleaned) so evictVictim can quarantine it;
+// id -1 means no victim exists at all.
+func (c *Cache) evictOnce() (int, []reinsertItem, error) {
 	back := c.order.Back()
 	if back == nil {
-		return 0, nil, fmt.Errorf("cache: no evictable region")
+		return -1, nil, fmt.Errorf("cache: no evictable region")
 	}
 	id := back.Value.(int)
 	m := &c.regions[id]
@@ -628,17 +796,20 @@ func (c *Cache) evictVictim() (int, []reinsertItem, error) {
 	c.clock.Advance(c.cpu.EvictPerKey * time.Duration(m.keys.len()))
 
 	now := c.clock.Now()
-	lat, err := c.store.EvictRegion(now, id)
+	if c.EvictedKeys != nil && len(dropped) > 0 {
+		c.EvictedKeys(dropped)
+	}
+	lat, err := c.retryStore(func(t time.Duration) (time.Duration, error) {
+		return c.store.EvictRegion(t, id)
+	})
 	if err != nil {
-		return 0, nil, fmt.Errorf("cache: evict region %d: %w", id, err)
+		// Index is already clean; hand the id back for quarantine.
+		return id, nil, fmt.Errorf("cache: evict region %d: %w", id, err)
 	}
 	c.clock.Advance(lat)
 	c.evicts.Inc()
 	if c.trace != nil {
 		c.trace.Emit(obs.Event{T: now, Type: obs.EvEvict, Zone: -1, Region: int32(id), Bytes: int64(m.keys.len())})
-	}
-	if c.EvictedKeys != nil && len(dropped) > 0 {
-		c.EvictedKeys(dropped)
 	}
 	m.state = regionFree
 	return id, reinsert, nil
@@ -718,10 +889,18 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 			pv = c.getScratch(n)
 			p = *pv
 		}
-		lat, err := c.store.ReadRegion(c.clock.Now(), int(e.region), p, n, alignedStart)
+		lat, err := c.retryStore(func(t time.Duration) (time.Duration, error) {
+			return c.store.ReadRegion(t, int(e.region), p, n, alignedStart)
+		})
 		if err != nil {
+			// Persistent read failure: degrade to a miss. The key is dropped
+			// (its bytes are unreachable — a lost key, never wrong data) and
+			// the region is charged a failure toward quarantine.
 			c.putScratch(pv)
-			return nil, false, fmt.Errorf("cache: read region %d: %w", e.region, err)
+			c.loseKey(key, e)
+			c.hitRatio.Miss()
+			c.getLat.Observe(c.clock.Now() - start)
+			return nil, false, nil
 		}
 		c.clock.Advance(lat)
 		if c.cfg.TrackValues {
@@ -729,12 +908,16 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 			base := head + itemHeaderSize + int64(e.keyLen)
 			val = append([]byte(nil), p[base:base+int64(e.valLen)]...)
 			// Verify the on-flash header checksum: corruption in the store,
-			// a GC migration, or recovery metadata would surface here.
+			// a GC migration, or stale recovery metadata surfaces here and
+			// becomes a miss — the cache never serves unverified bytes.
 			want := binary.LittleEndian.Uint64(p[head+8 : head+16])
 			got := itemChecksum(key, val)
 			c.putScratch(pv)
-			if got != want {
-				return nil, false, fmt.Errorf("%w: key %q", ErrChecksum, key)
+			if !c.cfg.SkipChecksum && got != want {
+				c.loseKey(key, e)
+				c.hitRatio.Miss()
+				c.getLat.Observe(c.clock.Now() - start)
+				return nil, false, nil
 			}
 		}
 	default:
@@ -963,6 +1146,10 @@ func (c *Cache) Stats() Stats {
 		Flushes:        c.flushes.Load(),
 		AdmitRejects:   c.rejects.Load(),
 		HostWriteBytes: c.hostBytes.Load(),
+		StoreRetries:   c.retriesCtr.Load(),
+		Quarantined:    c.quarantines.Load(),
+		LostKeys:       c.lostKeys.Load(),
+		RestoreDrops:   c.restoreDrop.Load(),
 		GetLatency:     c.getLat.Snapshot(),
 		SetLatency:     c.setLat.Snapshot(),
 		SimulatedTime:  c.clock.Now(),
@@ -989,6 +1176,10 @@ func (c *Cache) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	r.Counter("cache_flushes_total", "Region flushes", ls, &c.flushes)
 	r.Counter("cache_admit_rejects_total", "Inserts rejected by the admission policy", ls, &c.rejects)
 	r.Counter("cache_host_write_bytes_total", "Item bytes accepted from the host", ls, &c.hostBytes)
+	r.Counter("cache_store_retries_total", "Store operations retried after an error", ls, &c.retriesCtr)
+	r.Counter("region_quarantined_total", "Regions withdrawn after repeated store failures", ls, &c.quarantines)
+	r.Counter("cache_fault_lost_keys_total", "Keys dropped because their bytes became unreachable", ls, &c.lostKeys)
+	r.Counter("cache_restore_dropped_entries_total", "Snapshot entries dropped by the Restore repair pass", ls, &c.restoreDrop)
 }
 
 // GetLatencyHistogram exposes the raw get-latency histogram for percentile

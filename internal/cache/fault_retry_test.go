@@ -1,0 +1,198 @@
+package cache
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"znscache/internal/obs"
+)
+
+// flakyStore fails the first failWrites region flushes / failReads region
+// reads with a transient error, then behaves normally — the deterministic
+// counterpart of the probabilistic fault injector, for pinning down the
+// engine's exact retry and quarantine thresholds.
+type flakyStore struct {
+	*memStore
+	failWrites int
+	failReads  int
+}
+
+var errFlaky = errors.New("flaky store: transient failure")
+
+func (s *flakyStore) WriteRegion(now time.Duration, id int, data []byte) (time.Duration, error) {
+	if data != nil && s.failWrites > 0 {
+		s.failWrites--
+		return 0, errFlaky
+	}
+	return s.memStore.WriteRegion(now, id, data)
+}
+
+func (s *flakyStore) ReadRegion(now time.Duration, id int, p []byte, n int, off int64) (time.Duration, error) {
+	if s.failReads > 0 {
+		s.failReads--
+		return 0, errFlaky
+	}
+	return s.memStore.ReadRegion(now, id, p, n, off)
+}
+
+func newFlakyCache(t *testing.T) (*Cache, *flakyStore) {
+	t.Helper()
+	fs := &flakyStore{memStore: newMemStore(8, 4096)}
+	c, err := New(Config{
+		Store: fs, TrackValues: true,
+		MaxRetries: 2, RetryBackoff: time.Microsecond, QuarantineAfter: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, fs
+}
+
+// gatherCounter sums a registry counter's samples by name, skipping
+// per-kind breakdown series so totals are not double counted.
+func gatherCounter(t *testing.T, r *obs.Registry, name string) float64 {
+	t.Helper()
+	total, found := 0.0, false
+	for _, s := range r.Gather() {
+		if s.Name == name && s.Labels.Get("kind") == "" {
+			total += s.Value
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registry exposes no %q series", name)
+	}
+	return total
+}
+
+// TestFlushRetryAndQuarantine pins the write-path degradation thresholds:
+// with MaxRetries=2 (three attempts per flush) and QuarantineAfter=1, a
+// flush that fails fewer times than it has attempts succeeds transparently,
+// while one that exhausts its attempts loses the region's keys and
+// quarantines the region — and both outcomes are visible in Stats and the
+// obs registry.
+func TestFlushRetryAndQuarantine(t *testing.T) {
+	cases := []struct {
+		name        string
+		failures    int
+		wantRetries uint64
+		wantQuar    uint64
+		wantLost    bool
+	}{
+		{"clean", 0, 0, 0, false},
+		{"recovers-within-retries", 2, 2, 0, false},
+		{"exhausts-and-quarantines", 3, 2, 1, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, fs := newFlakyCache(t)
+			fs.failWrites = tc.failures
+			vals := map[string][]byte{}
+			for i := 0; i < 12; i++ {
+				k := fmt.Sprintf("w-%02d", i)
+				v := bytes.Repeat([]byte{byte(i + 1)}, 900)
+				vals[k] = v
+				if err := c.Set(k, v, 0); err != nil {
+					t.Fatalf("Set(%s): %v", k, err)
+				}
+			}
+			c.Drain()
+			st := c.Stats()
+			if st.StoreRetries != tc.wantRetries {
+				t.Errorf("StoreRetries = %d, want %d", st.StoreRetries, tc.wantRetries)
+			}
+			if st.Quarantined != tc.wantQuar {
+				t.Errorf("Quarantined = %d, want %d", st.Quarantined, tc.wantQuar)
+			}
+			if tc.wantLost && st.LostKeys == 0 {
+				t.Error("exhausted flush lost no keys")
+			}
+			if !tc.wantLost {
+				if st.LostKeys != 0 {
+					t.Errorf("LostKeys = %d on a recoverable run", st.LostKeys)
+				}
+				// Every flushed key must read back intact after the retries.
+				for k, want := range vals {
+					got, ok, err := c.Get(k)
+					if err != nil || !ok {
+						t.Fatalf("Get(%s) = (%v, %v) after recovered flush", k, ok, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("key %s corrupted across retried flush", k)
+					}
+				}
+			}
+
+			reg := obs.NewRegistry()
+			c.MetricsInto(reg, obs.Labels{})
+			if got := gatherCounter(t, reg, "cache_store_retries_total"); got != float64(tc.wantRetries) {
+				t.Errorf("cache_store_retries_total = %v, want %d", got, tc.wantRetries)
+			}
+			if got := gatherCounter(t, reg, "region_quarantined_total"); got != float64(tc.wantQuar) {
+				t.Errorf("region_quarantined_total = %v, want %d", got, tc.wantQuar)
+			}
+		})
+	}
+}
+
+// TestReadRetryAndQuarantine pins the read path: a sealed-region read that
+// recovers within its retry budget serves the verified value; one that
+// exhausts it degrades to a miss, drops the key, and (QuarantineAfter=1)
+// quarantines the region rather than erroring the lookup.
+func TestReadRetryAndQuarantine(t *testing.T) {
+	cases := []struct {
+		name        string
+		failures    int
+		wantHit     bool
+		wantRetries uint64
+		wantQuar    uint64
+	}{
+		{"clean", 0, true, 0, 0},
+		{"recovers-within-retries", 2, true, 2, 0},
+		{"exhausts-drops-and-quarantines", 3, false, 2, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, fs := newFlakyCache(t)
+			want := bytes.Repeat([]byte{0x42}, 900)
+			if err := c.Set("victim", want, 0); err != nil {
+				t.Fatal(err)
+			}
+			// Seal the victim's region so Get goes through the store.
+			for i := 0; c.Stats().Flushes < 1; i++ {
+				c.Set(fmt.Sprintf("fill-%03d", i), bytes.Repeat([]byte{9}, 900), 0)
+			}
+			c.Drain()
+
+			fs.failReads = tc.failures
+			got, ok, err := c.Get("victim")
+			if err != nil {
+				t.Fatalf("Get errored instead of degrading: %v", err)
+			}
+			if ok != tc.wantHit {
+				t.Fatalf("hit = %v, want %v", ok, tc.wantHit)
+			}
+			if tc.wantHit && !bytes.Equal(got, want) {
+				t.Fatal("retried read returned wrong bytes")
+			}
+			st := c.Stats()
+			if st.StoreRetries != tc.wantRetries {
+				t.Errorf("StoreRetries = %d, want %d", st.StoreRetries, tc.wantRetries)
+			}
+			if st.Quarantined != tc.wantQuar {
+				t.Errorf("Quarantined = %d, want %d", st.Quarantined, tc.wantQuar)
+			}
+			if !tc.wantHit {
+				if c.Contains("victim") {
+					t.Error("unreadable key still indexed")
+				}
+				if st.LostKeys == 0 {
+					t.Error("dropped key not counted as lost")
+				}
+			}
+		})
+	}
+}

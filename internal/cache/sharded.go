@@ -208,6 +208,10 @@ func (s *Sharded) Stats() Stats {
 		out.CoDesignDrops += st.CoDesignDrops
 		out.AdmitRejects += st.AdmitRejects
 		out.HostWriteBytes += st.HostWriteBytes
+		out.StoreRetries += st.StoreRetries
+		out.Quarantined += st.Quarantined
+		out.LostKeys += st.LostKeys
+		out.RestoreDrops += st.RestoreDrops
 		if st.SimulatedTime > out.SimulatedTime {
 			out.SimulatedTime = st.SimulatedTime
 		}

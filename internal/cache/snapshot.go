@@ -91,9 +91,94 @@ func (c *Cache) Snapshot() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
+// validate checks the snapshot's structural invariants so a corrupt or
+// truncated snapshot is rejected with an error instead of corrupting the
+// engine — or panicking on an out-of-range index — later. FuzzRestore
+// hammers this path.
+func (s *snapshotData) validate() error {
+	n := s.NumRegions
+	if len(s.Regions) != n {
+		return fmt.Errorf("cache: snapshot has %d region records for %d regions", len(s.Regions), n)
+	}
+	if s.Open < 0 || s.Open >= n {
+		return fmt.Errorf("cache: snapshot open region %d out of range", s.Open)
+	}
+	for i := range s.Regions {
+		r := &s.Regions[i]
+		if r.State > regionQuarantined {
+			return fmt.Errorf("cache: region %d: unknown state %d", i, r.State)
+		}
+		if r.Fill < 0 || r.Fill > s.RegionSize {
+			return fmt.Errorf("cache: region %d: fill %d outside [0, %d]", i, r.Fill, s.RegionSize)
+		}
+		if r.Live < 0 {
+			return fmt.Errorf("cache: region %d: negative live count", i)
+		}
+	}
+	seen := make([]bool, n)
+	for _, id := range s.Order {
+		if id < 0 || id >= n {
+			return fmt.Errorf("cache: eviction order references region %d of %d", id, n)
+		}
+		if seen[id] {
+			return fmt.Errorf("cache: region %d appears twice in the eviction order", id)
+		}
+		if st := s.Regions[id].State; st != regionSealed && st != regionFlushing {
+			return fmt.Errorf("cache: eviction order holds region %d in state %d", id, st)
+		}
+		seen[id] = true
+	}
+	for _, id := range s.Free {
+		if id < 0 || id >= n {
+			return fmt.Errorf("cache: free list references region %d of %d", id, n)
+		}
+		if seen[id] {
+			return fmt.Errorf("cache: region %d in the free list twice or also ordered", id)
+		}
+		if st := s.Regions[id].State; st != regionFree {
+			return fmt.Errorf("cache: free list holds region %d in state %d", id, st)
+		}
+		seen[id] = true
+	}
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		if e.Key == "" {
+			return fmt.Errorf("cache: entry %d: empty key", i)
+		}
+		if int(e.KeyLen) != len(e.Key) {
+			return fmt.Errorf("cache: entry %q: recorded key length %d != %d", e.Key, e.KeyLen, len(e.Key))
+		}
+		if e.Region < 0 || int(e.Region) >= n {
+			return fmt.Errorf("cache: entry %q: region %d of %d", e.Key, e.Region, n)
+		}
+		end := int64(e.Offset) + itemHeaderSize + int64(e.KeyLen) + int64(e.ValLen)
+		if end > s.RegionSize {
+			return fmt.Errorf("cache: entry %q: [%d, %d) beyond region size %d", e.Key, e.Offset, end, s.RegionSize)
+		}
+		if r := &s.Regions[e.Region]; int(e.Region) != s.Open && end > r.Fill {
+			return fmt.Errorf("cache: entry %q: end %d beyond region %d fill %d", e.Key, end, e.Region, r.Fill)
+		}
+	}
+	return nil
+}
+
+// regionSizer is the optional RegionStore extension Restore's repair pass
+// uses to cross-check snapshot metadata against what the store can really
+// serve: RegionReadableBytes reports how many leading bytes of region id
+// are readable (a zone's write pointer, a mapped region's size), with
+// ok=false when the store cannot tell.
+type regionSizer interface {
+	RegionReadableBytes(id int) (int64, bool)
+}
+
 // Restore builds an engine over store from a Snapshot taken against the
-// same store contents. The store must still hold the sealed regions'
-// bytes; the engine trusts the snapshot's metadata about them.
+// same store contents. The snapshot is validated structurally (a corrupt
+// or truncated snapshot errors out, never panics), then repaired against
+// the store: any sealed region whose recorded Fill exceeds what the store
+// can actually serve — the zone was torn, reset, or only partially flushed
+// after the snapshot cut — is truncated, and index entries past the
+// readable extent are dropped (counted in Stats.RestoreDrops). Recovery
+// may lose keys; it must never resurrect unverifiable ones.
 func Restore(cfg Config, snapshot []byte) (*Cache, error) {
 	c, err := New(cfg)
 	if err != nil {
@@ -110,6 +195,9 @@ func Restore(cfg Config, snapshot []byte) (*Cache, error) {
 		return nil, fmt.Errorf("cache: snapshot taken against %d regions of %d bytes; store has %d of %d",
 			s.NumRegions, s.RegionSize, c.store.NumRegions(), c.store.RegionSize())
 	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
 
 	// Wipe the fresh-engine scaffolding New installed.
 	c.index = make(map[string]entry, len(s.Entries))
@@ -117,6 +205,8 @@ func Restore(cfg Config, snapshot []byte) (*Cache, error) {
 	c.free = nil
 	c.seq = s.Seq
 
+	sizer, hasSizer := c.store.(regionSizer)
+	var repairedFree []int
 	for i := range c.regions {
 		m := &c.regions[i]
 		src := s.Regions[i]
@@ -127,14 +217,37 @@ func Restore(cfg Config, snapshot []byte) (*Cache, error) {
 		m.elem = nil
 		// Flushing states cannot survive a restart; the device write either
 		// completed (treat as sealed — the simulation's stores complete
-		// writes they acknowledged) or the region is dropped below.
+		// writes they acknowledged) or its entries are dropped by the
+		// cross-check below.
 		if m.state == regionFlushing {
 			m.state = regionSealed
+		}
+		if m.state == regionSealed && i != s.Open && hasSizer {
+			if avail, ok := sizer.RegionReadableBytes(i); ok && avail < m.fill {
+				m.fill = avail
+				if m.fill == 0 {
+					// Nothing survives: return the region to the free pool.
+					m.state = regionFree
+					m.keys.reset()
+					m.live = 0
+					repairedFree = append(repairedFree, i)
+				}
+			}
 		}
 	}
 	for _, e := range s.Entries {
 		// Keys living in the open region are dropped: its buffer was DRAM.
 		if int(e.Region) == s.Open {
+			continue
+		}
+		m := &c.regions[e.Region]
+		end := int64(e.Offset) + itemHeaderSize + int64(e.KeyLen) + int64(e.ValLen)
+		if m.state != regionSealed || end > m.fill {
+			// The bytes this entry points at are not durably readable.
+			c.restoreDrop.Inc()
+			if m.live > 0 {
+				m.live--
+			}
 			continue
 		}
 		c.index[e.Key] = entry{
@@ -144,14 +257,48 @@ func Restore(cfg Config, snapshot []byte) (*Cache, error) {
 		}
 	}
 	for _, id := range s.Order {
-		if id == s.Open {
+		if id == s.Open || c.regions[id].state != regionSealed {
 			continue
 		}
 		c.regions[id].elem = c.order.PushBack(id)
 	}
 	c.free = append(c.free, s.Free...)
+	c.free = append(c.free, repairedFree...)
 	// Reopen the snapshot's open region as a fresh buffer.
 	c.open = s.Open
 	c.openRegion(s.Open)
 	return c, nil
+}
+
+// CorruptSnapshotForTest mutates recovery metadata in a structurally valid
+// way: it shrinks the recorded value length of one sealed-region entry, so
+// the restored index disagrees with the bytes on flash. The result decodes
+// and validates cleanly; only the on-flash checksum stands between it and
+// wrong data being served — which is exactly what the crash harness's
+// mutation check verifies. Returns ok=false when the snapshot holds no
+// suitable entry.
+func CorruptSnapshotForTest(snapshot []byte) ([]byte, bool) {
+	var s snapshotData
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&s); err != nil {
+		return nil, false
+	}
+	for i := range s.Entries {
+		e := &s.Entries[i]
+		if e.Region < 0 || int(e.Region) >= len(s.Regions) || int(e.Region) == s.Open {
+			continue
+		}
+		if st := s.Regions[e.Region].State; st != regionSealed && st != regionFlushing {
+			continue
+		}
+		if e.ValLen < 2 {
+			continue
+		}
+		e.ValLen /= 2
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&s); err != nil {
+			return nil, false
+		}
+		return buf.Bytes(), true
+	}
+	return nil, false
 }

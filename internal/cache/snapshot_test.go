@@ -162,11 +162,23 @@ func TestChecksumDetectsCorruption(t *testing.T) {
 	if _, ok, err := c.Get("victim"); !ok || err != nil {
 		t.Fatalf("pre-corruption Get = (%v, %v)", ok, err)
 	}
-	// Corrupt the stored bytes of region 0 (where "victim" lives).
+	// Corrupt the stored bytes of region 0 (where "victim" lives). The
+	// engine must never serve the corrupt value: the checksum mismatch
+	// degrades to a miss and the key is dropped as lost.
 	e := c.index["victim"]
 	data := st.data[int(e.region)]
 	data[e.offset+itemHeaderSize+uint32(e.keyLen)+5] ^= 0xFF
-	if _, _, err := c.Get("victim"); err == nil {
+	val, ok, err := c.Get("victim")
+	if err != nil {
+		t.Fatalf("corrupted Get errored: %v", err)
+	}
+	if ok || val != nil {
 		t.Fatal("corrupted value passed the checksum")
+	}
+	if c.Contains("victim") {
+		t.Fatal("unverifiable key still indexed")
+	}
+	if got := c.Stats().LostKeys; got == 0 {
+		t.Fatal("checksum drop not counted as a lost key")
 	}
 }

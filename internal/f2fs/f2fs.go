@@ -118,7 +118,7 @@ type segment struct {
 
 // FS is a mounted filesystem. Safe for concurrent use.
 type FS struct {
-	dev *zns.Device
+	dev zns.Zoned
 	cfg Config
 
 	mu       sync.Mutex
@@ -164,7 +164,7 @@ type File struct {
 }
 
 // Mount formats the device and mounts a fresh filesystem over it.
-func Mount(dev *zns.Device, cfg Config) (*FS, error) {
+func Mount(dev zns.Zoned, cfg Config) (*FS, error) {
 	cfg.fillDefaults()
 	if cfg.OPRatio < 0 || cfg.OPRatio >= 1 {
 		return nil, fmt.Errorf("%w: OP ratio %v", ErrBadConfig, cfg.OPRatio)

@@ -20,6 +20,7 @@ import (
 	"znscache/internal/cache"
 	"znscache/internal/device"
 	"znscache/internal/f2fs"
+	"znscache/internal/fault"
 	"znscache/internal/flash"
 	"znscache/internal/middle"
 	"znscache/internal/obs"
@@ -154,6 +155,10 @@ type RigConfig struct {
 	// back to the process-wide tracer installed with SetTracer (nil there too
 	// disables tracing).
 	Trace *obs.Tracer
+	// Faults threads a fault injector under the scheme's devices. Nil falls
+	// back to the process-wide config installed with SetFaultConfig (nil
+	// there too runs fault-free). The injector is exposed as Rig.Faults.
+	Faults *fault.Config
 }
 
 func (c *RigConfig) fillDefaults() {
@@ -198,6 +203,13 @@ type Rig struct {
 	ZNS    *zns.Device
 	FS     *f2fs.FS
 	Middle *middle.Layer
+
+	// Faults is the rig's injector when fault injection is enabled; nil
+	// otherwise. FaultZoned/FaultBlock are the device wrappers the stack
+	// actually runs on (FaultZoned also audits the ZNS zone contract).
+	Faults     *fault.Injector
+	FaultZoned *fault.ZonedDevice
+	FaultBlock *fault.BlockDevice
 }
 
 // Process-wide observability hooks. The bench binaries install a registry
@@ -209,6 +221,7 @@ type Rig struct {
 var (
 	globalRegistry atomic.Pointer[obs.Registry]
 	globalTracer   atomic.Pointer[obs.Tracer]
+	globalFaults   atomic.Pointer[fault.Config]
 	rigSeq         atomic.Uint64
 )
 
@@ -220,15 +233,27 @@ func SetMetricsRegistry(r *obs.Registry) { globalRegistry.Store(r) }
 // (nil uninstalls). RigConfig.Trace overrides it per rig.
 func SetTracer(t *obs.Tracer) { globalTracer.Store(t) }
 
+// SetFaultConfig installs a process-wide fault configuration; every rig
+// built afterwards runs on fault-injecting device wrappers seeded from it
+// (nil uninstalls). RigConfig.Faults overrides it per rig. The bench
+// binaries' -faults flag lands here.
+func SetFaultConfig(c *fault.Config) { globalFaults.Store(c) }
+
 // Build assembles a scheme.
 func Build(cfg RigConfig) (*Rig, error) {
 	cfg.fillDefaults()
 	if cfg.Trace == nil {
 		cfg.Trace = globalTracer.Load()
 	}
+	if cfg.Faults == nil {
+		cfg.Faults = globalFaults.Load()
+	}
 	geo := cfg.HW.Geometry()
 	timing := flash.DefaultTiming()
 	rig := &Rig{Scheme: cfg.Scheme, Clock: cfg.Clock}
+	if cfg.Faults != nil {
+		rig.Faults = fault.NewInjector(*cfg.Faults)
+	}
 
 	var st cache.RegionStore
 	switch cfg.Scheme {
@@ -246,7 +271,12 @@ func Build(cfg RigConfig) (*Rig, error) {
 		if max := int(dev.Size() / cfg.RegionBytes); n > max {
 			n = max
 		}
-		s, err := store.NewBlockStore(dev, cfg.RegionBytes, n)
+		var bdev device.BlockDevice = dev
+		if rig.Faults != nil {
+			rig.FaultBlock = fault.WrapBlock(dev, rig.Faults)
+			bdev = rig.FaultBlock
+		}
+		s, err := store.NewBlockStore(bdev, cfg.RegionBytes, n)
 		if err != nil {
 			return nil, fmt.Errorf("harness: block store: %w", err)
 		}
@@ -262,7 +292,7 @@ func Build(cfg RigConfig) (*Rig, error) {
 		if !cfg.FSMetaOverheadSet {
 			meta = 0.12
 		}
-		fs, err := f2fs.Mount(dev, f2fs.Config{OPRatio: cfg.OPRatio, MetaOverhead: meta})
+		fs, err := f2fs.Mount(rig.wrapZoned(dev), f2fs.Config{OPRatio: cfg.OPRatio, MetaOverhead: meta})
 		if err != nil {
 			return nil, fmt.Errorf("harness: f2fs: %w", err)
 		}
@@ -291,7 +321,7 @@ func Build(cfg RigConfig) (*Rig, error) {
 		if n == 0 {
 			n = int(cfg.CacheBytes / dev.ZoneSize())
 		}
-		s, err := store.NewZoneStore(dev, n)
+		s, err := store.NewZoneStore(rig.wrapZoned(dev), n)
 		if err != nil {
 			return nil, fmt.Errorf("harness: zone store: %w", err)
 		}
@@ -356,7 +386,7 @@ func Build(cfg RigConfig) (*Rig, error) {
 				}
 			}
 		}
-		mid, err := middle.New(dev, mcfg)
+		mid, err := middle.New(rig.wrapZoned(dev), mcfg)
 		if err != nil {
 			return nil, fmt.Errorf("harness: middle layer: %w", err)
 		}
@@ -415,6 +445,19 @@ func (r *Rig) RegisterMetrics(reg *obs.Registry, base obs.Labels) {
 			ms.MetricsInto(reg, ls)
 		}
 	}
+	if r.Faults != nil {
+		r.Faults.MetricsInto(reg, ls)
+	}
+}
+
+// wrapZoned interposes the rig's fault wrapper between a fresh ZNS device
+// and the layer above it; without faults the device is used directly.
+func (r *Rig) wrapZoned(dev *zns.Device) zns.Zoned {
+	if r.Faults == nil {
+		return dev
+	}
+	r.FaultZoned = fault.WrapZoned(dev, r.Faults)
+	return r.FaultZoned
 }
 
 // dev0ZoneSize computes the zone size without building a device.

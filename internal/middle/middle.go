@@ -104,7 +104,7 @@ type zoneMeta struct {
 
 // Layer is the middle layer; it implements cache.RegionStore.
 type Layer struct {
-	dev            *zns.Device
+	dev            zns.Zoned
 	cfg            Config
 	regionsPerZone int
 
@@ -123,12 +123,15 @@ type Layer struct {
 	Migrated stats.Counter // regions migrated by GC
 	Dropped  stats.Counter // regions dropped by the co-design filter
 	Resets   stats.Counter
+	// Abandoned counts zones retired after a failed/torn write desynced
+	// their write pointer from the slot accounting (fault injection).
+	Abandoned stats.Counter
 	// Trace receives GC victim/migrate/drop events; nil disables tracing.
 	Trace *obs.Tracer
 }
 
 // New builds the layer over a ZNS device.
-func New(dev *zns.Device, cfg Config) (*Layer, error) {
+func New(dev zns.Zoned, cfg Config) (*Layer, error) {
 	cfg.fillDefaults()
 	if cfg.RegionSize <= 0 || cfg.RegionSize%device.SectorSize != 0 {
 		return nil, fmt.Errorf("%w: region size %d", ErrBadConfig, cfg.RegionSize)
@@ -185,7 +188,7 @@ func (l *Layer) NumRegions() int { return l.cfg.NumRegions }
 func (l *Layer) RegionSize() int64 { return l.cfg.RegionSize }
 
 // Device exposes the ZNS device for stats.
-func (l *Layer) Device() *zns.Device { return l.dev }
+func (l *Layer) Device() zns.Zoned { return l.dev }
 
 // EmptyZones reports the reclaimable-pool size (tests, zonectl).
 func (l *Layer) EmptyZones() int {
@@ -253,6 +256,12 @@ func (l *Layer) writableZoneLocked() (int, error) {
 
 // placeRegionLocked appends data as region id into a writable zone at time
 // now, updating mapping and bitmap. Returns the device completion latency.
+//
+// A failed device write may have advanced the zone's write pointer partway
+// (a torn write), leaving the zone out of sync with the layer's slot
+// accounting. The zone is abandoned — retired to the full set with its
+// remaining slots unusable, so GC reclaims it later — and the error is
+// returned; the caller's retry re-routes to a different zone.
 func (l *Layer) placeRegionLocked(now time.Duration, id int, data []byte) (time.Duration, error) {
 	z, err := l.writableZoneLocked()
 	if err != nil {
@@ -263,6 +272,7 @@ func (l *Layer) placeRegionLocked(now time.Duration, id int, data []byte) (time.
 	off := int64(z)*l.dev.ZoneSize() + int64(slot)*l.cfg.RegionSize
 	lat, err := l.dev.Write(now, data, int(l.cfg.RegionSize), off)
 	if err != nil {
+		l.abandonZoneLocked(z)
 		return 0, fmt.Errorf("middle: zone write: %w", err)
 	}
 	zm.written++
@@ -280,6 +290,26 @@ func (l *Layer) placeRegionLocked(now time.Duration, id int, data []byte) (time.
 		}
 	}
 	return lat, nil
+}
+
+// abandonZoneLocked retires a zone whose device write pointer can no longer
+// be trusted (a torn or failed write). Regions already placed in it remain
+// readable at their slot offsets; the remaining slots are written off and
+// the zone joins the GC candidates. Finish releases the device's open slot;
+// if even that fails (crash), the bookkeeping still retires the zone so the
+// layer never re-routes writes into it.
+func (l *Layer) abandonZoneLocked(z int) {
+	l.dev.Finish(0, z) //nolint:errcheck
+	zm := &l.zones[z]
+	zm.written = l.regionsPerZone
+	l.full[z] = struct{}{}
+	l.Abandoned.Inc()
+	for i, o := range l.openSet {
+		if o == z {
+			l.openSet = append(l.openSet[:i], l.openSet[i+1:]...)
+			break
+		}
+	}
 }
 
 // invalidateLocked clears region id's mapping and bitmap bit if present.
@@ -431,7 +461,10 @@ func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
 			}
 			continue
 		}
-		// Migrate: read the region and append it elsewhere.
+		// Migrate: read the region and append it elsewhere. The old mapping
+		// is cleared only after the new copy lands, so a failed migration
+		// (injected error, crash) leaves the region readable in the victim
+		// and the victim back in the GC candidates for a later retry.
 		n := int(l.cfg.RegionSize)
 		if cap(l.scratch) < n {
 			l.scratch = make([]byte, n)
@@ -440,13 +473,18 @@ func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
 		src := int64(victim)*l.dev.ZoneSize() + int64(slot)*l.cfg.RegionSize
 		rlat, err := l.dev.Read(cur, buf, src)
 		if err != nil {
+			l.full[victim] = struct{}{}
 			return fmt.Errorf("middle: GC read: %w", err)
 		}
-		l.invalidateLocked(id)
 		wlat, err := l.placeRegionLocked(cur+rlat, id, buf)
 		if err != nil {
+			l.full[victim] = struct{}{}
 			return fmt.Errorf("middle: GC write: %w", err)
 		}
+		// The old copy in the victim is dead now; clear its slot directly
+		// (invalidateLocked would follow the map table to the new copy).
+		zm.bitmap &^= 1 << uint(slot)
+		zm.regions[slot] = -1
 		cur += rlat + wlat
 		l.WA.AddMedia(uint64(l.cfg.RegionSize))
 		l.Migrated.Inc()
@@ -458,6 +496,7 @@ func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
 		}
 	}
 	if _, err := l.dev.Reset(cur, victim); err != nil {
+		l.full[victim] = struct{}{} // keep it collectable for a later retry
 		return fmt.Errorf("middle: GC reset: %w", err)
 	}
 	l.Resets.Inc()
@@ -487,12 +526,30 @@ func (l *Layer) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	r.Counter("middle_gc_migrated_regions_total", "Live regions migrated by GC", ls, &l.Migrated)
 	r.Counter("middle_gc_dropped_regions_total", "Regions dropped by the co-design filter", ls, &l.Dropped)
 	r.Counter("middle_zone_resets_total", "Zones reclaimed (reset) by GC", ls, &l.Resets)
+	r.Counter("middle_zones_abandoned_total", "Zones retired after a torn/failed write", ls, &l.Abandoned)
 	r.Gauge("middle_empty_zones", "Zones in the reclaimable pool", ls, func() float64 {
 		return float64(l.EmptyZones())
 	})
 	r.Gauge("middle_mapped_regions", "Regions with a live device mapping", ls, func() float64 {
 		return float64(l.MappedRegions())
 	})
+}
+
+// RegionReadableBytes implements the cache engine's recovery cross-check. A
+// mapped region is fully readable at its slot (regions land with a single
+// whole-region write, so a torn placement never leaves a mapping behind); an
+// unmapped region — evicted, GC-dropped, or torn away after the snapshot was
+// taken — has nothing readable.
+func (l *Layer) RegionReadableBytes(id int) (int64, bool) {
+	if id < 0 || id >= l.cfg.NumRegions {
+		return 0, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.mapTable[id]; !ok {
+		return 0, true
+	}
+	return l.cfg.RegionSize, true
 }
 
 // ZoneValidRatio reports the live fraction of a zone (tests, zonectl).

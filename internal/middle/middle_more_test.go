@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"znscache/internal/device"
+	"znscache/internal/zns"
 )
 
 func TestPlacementDeterministicPerSeed(t *testing.T) {
@@ -111,7 +112,7 @@ func TestDeviceWAIsAlwaysOne(t *testing.T) {
 	// from the device's perspective).
 	l := newLayer(t, false)
 	churn(t, l, 4)
-	dev := l.Device()
+	dev := l.Device().(*zns.Device)
 	hostSectors := dev.HostWrites.Load() / uint64(device.SectorSize)
 	if progs := dev.Array().Programs.Load(); progs != hostSectors {
 		t.Fatalf("device programs %d != host sectors %d", progs, hostSectors)

@@ -120,7 +120,7 @@ func TestRewriteRelocatesRegion(t *testing.T) {
 func TestEvictIsMetadataOnly(t *testing.T) {
 	l := newLayer(t, false)
 	l.WriteRegion(0, 0, nil)
-	resets := l.Device().Resets.Load()
+	resets := l.Device().(*zns.Device).Resets.Load()
 	lat, err := l.EvictRegion(0, 0)
 	if err != nil || lat != 0 {
 		t.Fatalf("EvictRegion = (%v, %v)", lat, err)
@@ -128,7 +128,7 @@ func TestEvictIsMetadataOnly(t *testing.T) {
 	if l.MappedRegions() != 0 {
 		t.Fatal("mapping survived eviction")
 	}
-	if l.Device().Resets.Load() != resets {
+	if l.Device().(*zns.Device).Resets.Load() != resets {
 		t.Fatal("eviction touched the device")
 	}
 }

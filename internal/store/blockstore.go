@@ -106,6 +106,17 @@ func (s *BlockStore) EvictRegion(time.Duration, int) (time.Duration, error) {
 	return 0, nil
 }
 
+// RegionReadableBytes implements the cache engine's recovery cross-check.
+// Block regions are fixed LBA ranges: every byte is always readable (a torn
+// flush leaves a new-prefix/old-suffix mix, which the engine's per-item
+// checksum rejects at read time), so the full region is reported.
+func (s *BlockStore) RegionReadableBytes(id int) (int64, bool) {
+	if id < 0 || id >= s.numRegions {
+		return 0, false
+	}
+	return s.regionSize, true
+}
+
 // MetricsInto implements obs.MetricSource.
 func (s *BlockStore) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	registerStoreMetrics(r, labels.With("layer", "store").With("store", "block"),

@@ -93,6 +93,16 @@ func (s *FileStore) EvictRegion(time.Duration, int) (time.Duration, error) {
 	return 0, nil
 }
 
+// RegionReadableBytes implements the cache engine's recovery cross-check.
+// The backing file is preallocated, so the whole region range is always
+// readable; torn flushes surface as per-item checksum misses instead.
+func (s *FileStore) RegionReadableBytes(id int) (int64, bool) {
+	if id < 0 || id >= s.numRegions {
+		return 0, false
+	}
+	return s.regionSize, true
+}
+
 // MetricsInto implements obs.MetricSource.
 func (s *FileStore) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	registerStoreMetrics(r, labels.With("layer", "store").With("store", "file"),

@@ -7,6 +7,7 @@ import (
 
 	"znscache/internal/device"
 	"znscache/internal/f2fs"
+	"znscache/internal/fault"
 	"znscache/internal/flash"
 	"znscache/internal/ssd"
 	"znscache/internal/zns"
@@ -189,6 +190,9 @@ func TestZoneStoreWriteResetCycle(t *testing.T) {
 	if _, err := s.WriteRegion(0, 1, want); err != nil {
 		t.Fatalf("rewrite after evict: %v", err)
 	}
+	if err := fault.CheckZoneContract(dev); err != nil {
+		t.Fatalf("zone contract violated after write/reset cycle: %v", err)
+	}
 }
 
 func TestZoneStoreZeroWA(t *testing.T) {
@@ -210,6 +214,9 @@ func TestZoneStoreZeroWA(t *testing.T) {
 	wantPrograms := uint64(3 * 4 * int(dev.ZoneSize()/device.SectorSize))
 	if got := dev.Array().Programs.Load(); got != wantPrograms {
 		t.Fatalf("flash programs = %d, want %d (zero WA)", got, wantPrograms)
+	}
+	if err := fault.CheckZoneContract(dev); err != nil {
+		t.Fatalf("zone contract violated after evict/rewrite churn: %v", err)
 	}
 }
 

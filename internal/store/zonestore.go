@@ -16,7 +16,7 @@ import (
 // device capacity serves the cache. The price is that the region size is
 // dictated by the zone size, with everything §3.2 says follows from that.
 type ZoneStore struct {
-	dev        *zns.Device
+	dev        zns.Zoned
 	numRegions int
 	scratch    []byte
 
@@ -29,7 +29,7 @@ type ZoneStore struct {
 // NewZoneStore builds the store. If numRegions is 0, every zone of the
 // device becomes a region; otherwise the first numRegions zones are used
 // (the paper's experiments pin the zone count, e.g. 25 zones in Figure 2).
-func NewZoneStore(dev *zns.Device, numRegions int) (*ZoneStore, error) {
+func NewZoneStore(dev zns.Zoned, numRegions int) (*ZoneStore, error) {
 	if numRegions == 0 {
 		numRegions = dev.NumZones()
 	}
@@ -56,13 +56,25 @@ func (s *ZoneStore) check(id int, off int64, n int) error {
 }
 
 // WriteRegion implements cache.RegionStore: one sequential whole-zone write
-// starting at the zone's (reset) write pointer.
+// starting at the zone's (reset) write pointer. A zone whose write pointer
+// is not at the start — a torn previous flush, or a rewrite that skipped
+// EvictRegion — is reset first, so a failed write never wedges the region:
+// the engine's retry finds a clean zone.
 func (s *ZoneStore) WriteRegion(now time.Duration, id int, data []byte) (time.Duration, error) {
 	if err := s.check(id, 0, int(s.dev.ZoneSize())); err != nil {
 		return 0, err
 	}
+	var resync time.Duration
+	if info, err := s.dev.ZoneInfo(id); err == nil && info.WP != 0 {
+		rlat, err := s.dev.Reset(now, id)
+		if err != nil {
+			return 0, err
+		}
+		resync = rlat
+	}
 	s.RegionWrites.Inc()
-	return s.dev.Write(now, data, int(s.dev.ZoneSize()), int64(id)*s.dev.ZoneSize())
+	lat, err := s.dev.Write(now+resync, data, int(s.dev.ZoneSize()), int64(id)*s.dev.ZoneSize())
+	return resync + lat, err
 }
 
 // ReadRegion implements cache.RegionStore.
@@ -91,6 +103,21 @@ func (s *ZoneStore) EvictRegion(now time.Duration, id int) (time.Duration, error
 	return s.dev.Reset(now, id)
 }
 
+// RegionReadableBytes implements the cache engine's recovery cross-check:
+// the readable extent of a region is its zone's write pointer, so a
+// snapshot whose Fill exceeds it (the zone was reset or torn after the
+// snapshot was taken) is detected and truncated at Restore.
+func (s *ZoneStore) RegionReadableBytes(id int) (int64, bool) {
+	if id < 0 || id >= s.numRegions {
+		return 0, false
+	}
+	info, err := s.dev.ZoneInfo(id)
+	if err != nil {
+		return 0, false
+	}
+	return info.WP, true
+}
+
 // MetricsInto implements obs.MetricSource.
 func (s *ZoneStore) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	registerStoreMetrics(r, labels.With("layer", "store").With("store", "zone"),
@@ -98,6 +125,6 @@ func (s *ZoneStore) MetricsInto(r *obs.Registry, labels obs.Labels) {
 }
 
 // Device exposes the underlying ZNS device for stats.
-func (s *ZoneStore) Device() *zns.Device { return s.dev }
+func (s *ZoneStore) Device() zns.Zoned { return s.dev }
 
 var _ cache.RegionStore = (*ZoneStore)(nil)

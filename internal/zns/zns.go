@@ -96,6 +96,40 @@ type Zone struct {
 	Resets uint64
 }
 
+// Zoned is the zone-op interface the upper layers (the F2FS model, the
+// Zone-Cache store, and the Region-Cache middle layer) program against.
+// *Device implements it directly; internal/fault wraps it to inject
+// errors, latency spikes, torn writes, and crash points underneath every
+// consumer without any of them knowing.
+type Zoned interface {
+	// NumZones returns the zone count.
+	NumZones() int
+	// ZoneSize returns the usable bytes per zone.
+	ZoneSize() int64
+	// Size returns total usable capacity in bytes.
+	Size() int64
+	// MaxOpenZones returns the open-zone cap.
+	MaxOpenZones() int
+	// OpenZones returns the number of zones currently open.
+	OpenZones() int
+	// ZoneInfo returns a snapshot of zone z.
+	ZoneInfo(z int) (Zone, error)
+	// Write appends n bytes at offset off (must equal the zone's write
+	// pointer). data may be nil for a metadata-only write.
+	Write(now time.Duration, data []byte, n int, off int64) (time.Duration, error)
+	// Append writes n bytes at zone z's write pointer, returning the
+	// assigned device offset.
+	Append(now time.Duration, data []byte, n int, z int) (time.Duration, int64, error)
+	// Read reads len(p) bytes at off; must not cross the write pointer.
+	Read(now time.Duration, p []byte, off int64) (time.Duration, error)
+	// Reset erases zone z.
+	Reset(now time.Duration, z int) (time.Duration, error)
+	// Finish moves zone z's write pointer to the end (state full).
+	Finish(now time.Duration, z int) (time.Duration, error)
+	// Close transitions an open zone to closed.
+	Close(z int) error
+}
+
 // Device is a simulated ZNS SSD. Safe for concurrent use.
 type Device struct {
 	cfg      Config
@@ -486,6 +520,8 @@ func (d *Device) MetricsInto(r *obs.Registry, labels obs.Labels) {
 		})
 	}
 }
+
+var _ Zoned = (*Device)(nil)
 
 // Close transitions an open zone to closed, releasing its open slot while
 // preserving the write pointer.
