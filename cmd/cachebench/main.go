@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 
+	"znscache/internal/cache"
 	"znscache/internal/fault"
 	"znscache/internal/harness"
 	"znscache/internal/obs"
@@ -27,7 +28,9 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|admission|all")
+		admission   = flag.String("admission", "", "admission policy for every rig: all|prob:P|reject-first[:BITS,WINDOW]|dynamic-random[:WINDOW_MS]|frequency[:THRESHOLD]")
+		admitBudget = flag.Float64("admit-budget", 0, "device-write budget in bytes per simulated second (required by -admission dynamic-random; overrides the admission sweep's derived budgets)")
 		zones       = flag.Int("zones", 0, "override device zone count")
 		ops         = flag.Int("ops", 0, "override measured op count")
 		warmup      = flag.Int("warmup", 0, "override warmup op count")
@@ -43,6 +46,18 @@ func main() {
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for the -faults schedule")
 	)
 	flag.Parse()
+
+	if *admission != "" {
+		f, err := cache.ParseAdmission(*admission, *admitBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cachebench: %v\n", err)
+			os.Exit(2)
+		}
+		harness.SetAdmissionFactory(f)
+		if f != nil {
+			fmt.Fprintf(os.Stderr, "admission policy armed: %s\n", f.Name())
+		}
+	}
 
 	if *faultRate > 0 {
 		harness.SetFaultConfig(&fault.Config{
@@ -137,6 +152,33 @@ func main() {
 		harness.PrintSmallZone(os.Stdout, rows)
 		return report(harness.NewSmallZoneReport(rows))
 	})
+	run("admission", func() error {
+		p := harness.DefaultAdmissionSweep()
+		if *zones != 0 {
+			p.Zones = *zones
+		}
+		if *ops != 0 {
+			p.MeasureOps = *ops
+		}
+		if *warmup != 0 {
+			p.WarmupOps = *warmup
+		}
+		if *keys != 0 {
+			p.Keys = *keys
+		}
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		if *admitBudget > 0 {
+			p.BudgetBytesPerSec = *admitBudget
+		}
+		rows, err := harness.RunAdmissionSweep(p)
+		if err != nil {
+			return err
+		}
+		harness.PrintAdmission(os.Stdout, rows)
+		return report(harness.NewAdmissionReport(rows))
+	})
 	run("fig3", func() error {
 		p := harness.DefaultFig3()
 		if *zones != 0 {
@@ -188,7 +230,7 @@ func main() {
 	}
 
 	switch *experiment {
-	case "all", "fig2", "fig3", "fig4", "table1", "smallzone":
+	case "all", "fig2", "fig3", "fig4", "table1", "smallzone", "admission":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"znscache/internal/cache"
 	"znscache/internal/fault"
 	"znscache/internal/harness"
 	"znscache/internal/obs"
@@ -30,8 +31,22 @@ func main() {
 		jsonDir     = flag.String("json", "", "also write BENCH_<experiment>.json report files into this directory")
 		faultRate   = flag.Float64("faults", 0, "inject device faults (errors, torn writes, latency spikes) at this per-op rate under every scheme")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for the -faults schedule")
+		admission   = flag.String("admission", "", "admission policy for every flash cache: all|prob:P|reject-first[:BITS,WINDOW]|dynamic-random[:WINDOW_MS]|frequency[:THRESHOLD]")
+		admitBudget = flag.Float64("admit-budget", 0, "device-write budget in bytes per simulated second (required by -admission dynamic-random)")
 	)
 	flag.Parse()
+
+	if *admission != "" {
+		f, err := cache.ParseAdmission(*admission, *admitBudget)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dbbench: %v\n", err)
+			os.Exit(2)
+		}
+		harness.SetAdmissionFactory(f)
+		if f != nil {
+			fmt.Fprintf(os.Stderr, "admission policy armed: %s\n", f.Name())
+		}
+	}
 
 	if *faultRate > 0 {
 		harness.SetFaultConfig(&fault.Config{

@@ -120,8 +120,19 @@ type Config struct {
 	Store RegionStore
 	// Policy picks LRU (default) or FIFO region eviction.
 	Policy Policy
-	// Admission filters inserts; nil admits everything.
+	// Admission filters inserts; nil admits everything. An Admission
+	// instance belongs to exactly one engine — multi-engine frontends must
+	// use AdmissionFactory (or CloneAdmission) so each engine gets its own
+	// instance; NewSharded rejects shared stateful instances.
 	Admission Admission
+	// AdmissionFactory, when set (and Admission is nil), builds this
+	// engine's policy instance seeded with AdmissionSeed and bound to the
+	// engine's clock. This is the seam multi-engine frontends use to get
+	// per-engine instances from one shared configuration value.
+	AdmissionFactory AdmissionFactory
+	// AdmissionSeed seeds the policy instance built by AdmissionFactory
+	// (decorrelate shards with ShardSeed). Ignored when Admission is set.
+	AdmissionSeed uint64
 	// BufferMemory bounds DRAM spent on region buffers. One buffer is
 	// always filling; the remaining BufferMemory/RegionSize − 1 may hold
 	// in-flight flushes, so a budget of exactly one region makes flushes
@@ -335,6 +346,12 @@ func New(cfg Config) (*Cache, error) {
 	if (cfg.CPU == CPUModel{}) {
 		cfg.CPU = DefaultCPUModel()
 	}
+	if cfg.Admission == nil && cfg.AdmissionFactory != nil {
+		cfg.Admission = cfg.AdmissionFactory.New(AdmissionParams{
+			Seed:  cfg.AdmissionSeed,
+			Clock: cfg.Clock,
+		})
+	}
 	if cfg.Admission == nil {
 		cfg.Admission = AdmitAll{}
 	}
@@ -389,6 +406,10 @@ func New(cfg Config) (*Cache, error) {
 
 // Clock exposes the engine's virtual clock.
 func (c *Cache) Clock() *sim.Clock { return c.clock }
+
+// Admission exposes the engine's admission policy instance (inspection,
+// shared-instance validation in NewSharded). Never nil after New.
+func (c *Cache) Admission() Admission { return c.cfg.Admission }
 
 // RegionSize returns the store's region size.
 func (c *Cache) RegionSize() int64 { return c.store.RegionSize() }
@@ -1180,6 +1201,9 @@ func (c *Cache) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	r.Counter("region_quarantined_total", "Regions withdrawn after repeated store failures", ls, &c.quarantines)
 	r.Counter("cache_fault_lost_keys_total", "Keys dropped because their bytes became unreachable", ls, &c.lostKeys)
 	r.Counter("cache_restore_dropped_entries_total", "Snapshot entries dropped by the Restore repair pass", ls, &c.restoreDrop)
+	if am, ok := c.cfg.Admission.(AdmissionMetrics); ok {
+		am.MetricsInto(r, ls)
+	}
 }
 
 // GetLatencyHistogram exposes the raw get-latency histogram for percentile

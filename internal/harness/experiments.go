@@ -26,6 +26,25 @@ type SchemeResult struct {
 // RunBC drives the CacheBench bc mix against a rig: a warmup phase sized to
 // cycle the cache, then a measured window. Returns the measured result.
 func RunBC(rig *Rig, keys int64, warmupOps, measureOps int, seed uint64) SchemeResult {
+	return runBCMeasured(rig, keys, warmupOps, measureOps, seed).SchemeResult
+}
+
+// measuredBC is RunBC's result plus the measured-window byte and admission
+// deltas the write-budget experiments need.
+type measuredBC struct {
+	SchemeResult
+	// HostWriteBytes are item bytes the engine accepted in the window.
+	HostWriteBytes uint64
+	// DeviceWriteBytes are bytes the flash medium absorbed in the window
+	// (Rig.DeviceWriteBytes delta: flushes, padding, GC).
+	DeviceWriteBytes uint64
+	// AdmitRejects counts inserts the admission policy refused in the window.
+	AdmitRejects uint64
+}
+
+// runBCMeasured is RunBC with measured-window deltas of the write-path
+// counters. Shared by RunBC and the admission sweep.
+func runBCMeasured(rig *Rig, keys int64, warmupOps, measureOps int, seed uint64) measuredBC {
 	gen := workload.NewBC(workload.BCConfig{Keys: keys, Seed: seed})
 	eng := rig.Engine
 
@@ -49,6 +68,7 @@ func RunBC(rig *Rig, keys int64, warmupOps, measureOps int, seed uint64) SchemeR
 	// Reset measurement state at the window boundary.
 	startStats := eng.Stats()
 	startTime := rig.Clock.Now()
+	startDevice := rig.DeviceWriteBytes()
 	eng.GetLatencyHistogram().Reset()
 	eng.SetLatencyHistogram().Reset()
 
@@ -70,17 +90,22 @@ func RunBC(rig *Rig, keys int64, warmupOps, measureOps int, seed uint64) SchemeR
 	if elapsed > 0 {
 		opsPerSec = ops / elapsed.Seconds()
 	}
-	return SchemeResult{
-		Scheme:    rig.Scheme,
-		OpsPerSec: opsPerSec,
-		HitRatio:  hitRatio,
-		WAFactor:  rig.WAFactor(),
-		SetP50:    eng.SetLatencyHistogram().Percentile(0.5),
-		SetP99:    eng.SetLatencyHistogram().Percentile(0.99),
-		GetP50:    eng.GetLatencyHistogram().Percentile(0.5),
-		GetP99:    eng.GetLatencyHistogram().Percentile(0.99),
-		SimTime:   elapsed,
-		Ops:       uint64(measureOps),
+	return measuredBC{
+		SchemeResult: SchemeResult{
+			Scheme:    rig.Scheme,
+			OpsPerSec: opsPerSec,
+			HitRatio:  hitRatio,
+			WAFactor:  rig.WAFactor(),
+			SetP50:    eng.SetLatencyHistogram().Percentile(0.5),
+			SetP99:    eng.SetLatencyHistogram().Percentile(0.99),
+			GetP50:    eng.GetLatencyHistogram().Percentile(0.5),
+			GetP99:    eng.GetLatencyHistogram().Percentile(0.99),
+			SimTime:   elapsed,
+			Ops:       uint64(measureOps),
+		},
+		HostWriteBytes:   endStats.HostWriteBytes - startStats.HostWriteBytes,
+		DeviceWriteBytes: rig.DeviceWriteBytes() - startDevice,
+		AdmitRejects:     endStats.AdmitRejects - startStats.AdmitRejects,
 	}
 }
 

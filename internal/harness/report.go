@@ -166,6 +166,19 @@ type Report struct {
 	Fig5       []Fig5RowJSON      `json:"fig5,omitempty"`
 	Table2     []Table2RowJSON    `json:"table2,omitempty"`
 	SmallZone  []SmallZoneRowJSON `json:"smallzone,omitempty"`
+	Admission  []AdmissionRowJSON `json:"admission,omitempty"`
+}
+
+// AdmissionRowJSON is AdmissionRow in wire form.
+type AdmissionRowJSON struct {
+	Scheme            string           `json:"scheme"`
+	Policy            string           `json:"policy"`
+	Result            SchemeResultJSON `json:"result"`
+	HostWriteBytes    uint64           `json:"host_write_bytes"`
+	DeviceWriteBytes  uint64           `json:"device_write_bytes"`
+	DeviceBytesPerSec float64          `json:"device_bytes_per_sec"`
+	BudgetBytesPerSec float64          `json:"budget_bytes_per_sec"`
+	AdmitRejects      uint64           `json:"admit_rejects"`
 }
 
 // SchemeResultJSON is SchemeResult in wire form.
@@ -344,6 +357,7 @@ func (r *Report) Validate() error {
 		"fig5":        r.Fig5 != nil,
 		"table2":      r.Table2 != nil,
 		"smallzone":   r.SmallZone != nil,
+		"admission":   r.Admission != nil,
 	}
 	populated, known := sections[r.Experiment]
 	if !known {

@@ -139,7 +139,17 @@ type RigConfig struct {
 	// otherwise the Navy-faithful default (FIFO region order) is used.
 	Policy    cache.Policy
 	PolicySet bool
+	// Admission hands a pre-built policy instance to this rig's single
+	// engine. Prefer AdmissionFactory: an instance is bound to one engine,
+	// and handing the same instance to several rigs (or shards) is the data
+	// race the factory seam exists to prevent.
 	Admission cache.Admission
+	// AdmissionFactory builds the engine's admission policy, seeded with
+	// AdmissionSeed and bound to the engine's clock. Nil falls back to the
+	// process-wide factory installed with SetAdmissionFactory (nil there too
+	// admits everything). Ignored when Admission is set.
+	AdmissionFactory cache.AdmissionFactory
+	AdmissionSeed    uint64
 	// CoDesign enables the §3.4 GC/cache co-design on Region-Cache: GC
 	// drops regions from the coldest CoDesignColdFrac of the LRU instead
 	// of migrating them.
@@ -222,8 +232,14 @@ var (
 	globalRegistry atomic.Pointer[obs.Registry]
 	globalTracer   atomic.Pointer[obs.Tracer]
 	globalFaults   atomic.Pointer[fault.Config]
-	rigSeq         atomic.Uint64
+	// globalAdmission boxes the factory interface (atomic.Pointer cannot
+	// hold an interface directly).
+	globalAdmission atomic.Pointer[admissionBox]
+	rigSeq          atomic.Uint64
 )
+
+// admissionBox wraps the AdmissionFactory interface for atomic storage.
+type admissionBox struct{ f cache.AdmissionFactory }
 
 // SetMetricsRegistry installs the registry subsequently built rigs register
 // their instruments into (nil uninstalls).
@@ -239,6 +255,20 @@ func SetTracer(t *obs.Tracer) { globalTracer.Store(t) }
 // binaries' -faults flag lands here.
 func SetFaultConfig(c *fault.Config) { globalFaults.Store(c) }
 
+// SetAdmissionFactory installs a process-wide admission factory; every rig
+// built afterwards gets its own policy instance from it (nil uninstalls).
+// RigConfig.Admission/AdmissionFactory override it per rig. The bench
+// binaries' -admission flag lands here. Factories are immutable
+// configuration values, so sharing one across concurrently-built rigs is
+// safe — each Build calls New for a fresh instance.
+func SetAdmissionFactory(f cache.AdmissionFactory) {
+	if f == nil {
+		globalAdmission.Store(nil)
+		return
+	}
+	globalAdmission.Store(&admissionBox{f: f})
+}
+
 // Build assembles a scheme.
 func Build(cfg RigConfig) (*Rig, error) {
 	cfg.fillDefaults()
@@ -247,6 +277,11 @@ func Build(cfg RigConfig) (*Rig, error) {
 	}
 	if cfg.Faults == nil {
 		cfg.Faults = globalFaults.Load()
+	}
+	if cfg.Admission == nil && cfg.AdmissionFactory == nil {
+		if box := globalAdmission.Load(); box != nil {
+			cfg.AdmissionFactory = box.f
+		}
 	}
 	geo := cfg.HW.Geometry()
 	timing := flash.DefaultTiming()
@@ -399,15 +434,25 @@ func Build(cfg RigConfig) (*Rig, error) {
 		return nil, fmt.Errorf("harness: unknown scheme %v", cfg.Scheme)
 	}
 
+	// Dynamic-random admission regulates what the device actually absorbs:
+	// point the controller at this rig's device byte counter (unless the
+	// caller wired a source already). The devices above are assembled before
+	// the engine, so the method value reads live counters from the start.
+	if f, ok := cfg.AdmissionFactory.(cache.DynamicRandomFactory); ok && f.BytesWritten == nil {
+		f.BytesWritten = rig.DeviceWriteBytes
+		cfg.AdmissionFactory = f
+	}
 	eng, err := cache.New(cache.Config{
-		Store:        st,
-		Policy:       cfg.Policy,
-		Admission:    cfg.Admission,
-		BufferMemory: cfg.BufferMemory,
-		TrackValues:  cfg.TrackValues,
-		ReinsertHits: cfg.ReinsertHits,
-		Clock:        cfg.Clock,
-		Trace:        cfg.Trace,
+		Store:            st,
+		Policy:           cfg.Policy,
+		Admission:        cfg.Admission,
+		AdmissionFactory: cfg.AdmissionFactory,
+		AdmissionSeed:    cfg.AdmissionSeed,
+		BufferMemory:     cfg.BufferMemory,
+		TrackValues:      cfg.TrackValues,
+		ReinsertHits:     cfg.ReinsertHits,
+		Clock:            cfg.Clock,
+		Trace:            cfg.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: engine: %w", err)
@@ -493,4 +538,24 @@ func (r *Rig) WAFactor() float64 {
 		return 1.0
 	}
 	return 1.0
+}
+
+// DeviceWriteBytes returns the bytes actually written to the flash medium so
+// far — the quantity a device-lifetime write budget constrains, measured at
+// the same layer WAFactor reports: middle-layer media writes for
+// Region-Cache (host flushes plus GC migrations), filesystem media writes
+// for File-Cache, FTL media writes for Block-Cache, and raw host writes for
+// Zone-Cache (its device WA is 1 by construction).
+func (r *Rig) DeviceWriteBytes() uint64 {
+	switch r.Scheme {
+	case RegionCache:
+		return r.Middle.WA.Media()
+	case FileCache:
+		return r.FS.WA.Media()
+	case BlockCache:
+		return r.SSD.WA.Media()
+	case ZoneCache:
+		return r.ZNS.HostWrites.Load()
+	}
+	return 0
 }

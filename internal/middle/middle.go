@@ -126,6 +126,10 @@ type Layer struct {
 	// Abandoned counts zones retired after a failed/torn write desynced
 	// their write pointer from the slot accounting (fault injection).
 	Abandoned stats.Counter
+	// GCTimeNs accumulates simulated nanoseconds spent reclaiming zones
+	// (migration reads/writes plus the zone reset) — the device-busy time GC
+	// steals from foreground traffic.
+	GCTimeNs stats.Counter
 	// Trace receives GC victim/migrate/drop events; nil disables tracing.
 	Trace *obs.Tracer
 }
@@ -392,7 +396,9 @@ func (l *Layer) EvictRegion(now time.Duration, id int) (time.Duration, error) {
 
 // collectLocked reclaims zones until the empty pool reaches the watermark.
 // Wholly-dead zones are reset immediately (free reclaim); otherwise the
-// victim with the lowest valid ratio is drained.
+// victim with the lowest valid ratio is drained. Consecutive reclaims in one
+// pass run back-to-back on the simulated timeline: each victim starts where
+// the previous one (migrations and reset included) finished.
 func (l *Layer) collectLocked(now time.Duration) error {
 	for len(l.empty) < l.cfg.MinEmptyZones {
 		victim, ok := l.pickVictimLocked()
@@ -400,9 +406,12 @@ func (l *Layer) collectLocked(now time.Duration) error {
 			return nil // nothing collectable yet
 		}
 		l.GCRuns.Inc()
-		if err := l.reclaimZoneLocked(now, victim); err != nil {
+		took, err := l.reclaimZoneLocked(now, victim)
+		if err != nil {
 			return err
 		}
+		l.GCTimeNs.Add(uint64(took))
+		now += took
 	}
 	return nil
 }
@@ -426,15 +435,22 @@ func (l *Layer) pickVictimLocked() (int, bool) {
 	if float64(bestValid) <= l.cfg.VictimValidRatio*float64(l.regionsPerZone) {
 		return best, true
 	}
-	if len(l.empty) <= 1 {
-		return best, true // emergency: collect even expensive zones
+	// Emergency: collect even expensive zones — but never a fully-valid one.
+	// Migrating a zone with zero dead slots reclaims nothing: every region
+	// is rewritten into the open zones and the "freed" zone must immediately
+	// absorb the same data again, pure write amplification that can
+	// ping-pong forever when the empty pool is down to its last zone.
+	if len(l.empty) <= 1 && bestValid < l.regionsPerZone {
+		return best, true
 	}
 	return best, bestValid == 0
 }
 
 // reclaimZoneLocked migrates (or co-design-drops) the victim's live regions
-// and resets it.
-func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
+// and resets it, returning the simulated time the whole reclaim took —
+// migration reads and writes plus the final zone reset, so callers and trace
+// consumers see the full device-busy cost of the pass.
+func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) (time.Duration, error) {
 	delete(l.full, victim)
 	zm := &l.zones[victim]
 	if l.Trace != nil {
@@ -474,12 +490,12 @@ func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
 		rlat, err := l.dev.Read(cur, buf, src)
 		if err != nil {
 			l.full[victim] = struct{}{}
-			return fmt.Errorf("middle: GC read: %w", err)
+			return 0, fmt.Errorf("middle: GC read: %w", err)
 		}
 		wlat, err := l.placeRegionLocked(cur+rlat, id, buf)
 		if err != nil {
 			l.full[victim] = struct{}{}
-			return fmt.Errorf("middle: GC write: %w", err)
+			return 0, fmt.Errorf("middle: GC write: %w", err)
 		}
 		// The old copy in the victim is dead now; clear its slot directly
 		// (invalidateLocked would follow the map table to the new copy).
@@ -495,10 +511,16 @@ func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
 			})
 		}
 	}
-	if _, err := l.dev.Reset(cur, victim); err != nil {
+	// The reset's latency is part of the reclaim: fold it into cur so the
+	// returned duration (and anything downstream of it — GC busy-time
+	// accounting, back-to-back victim scheduling) covers the whole pass
+	// instead of silently ending at the last migration.
+	rlat, err := l.dev.Reset(cur, victim)
+	if err != nil {
 		l.full[victim] = struct{}{} // keep it collectable for a later retry
-		return fmt.Errorf("middle: GC reset: %w", err)
+		return 0, fmt.Errorf("middle: GC reset: %w", err)
 	}
+	cur += rlat
 	l.Resets.Inc()
 	zm.bitmap = 0
 	zm.written = 0
@@ -506,7 +528,7 @@ func (l *Layer) reclaimZoneLocked(now time.Duration, victim int) error {
 		zm.regions[s] = -1
 	}
 	l.empty = append(l.empty, victim)
-	return nil
+	return cur - now, nil
 }
 
 // OnDropAsync invokes the drop callback outside the critical path contract;
@@ -526,6 +548,7 @@ func (l *Layer) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	r.Counter("middle_gc_migrated_regions_total", "Live regions migrated by GC", ls, &l.Migrated)
 	r.Counter("middle_gc_dropped_regions_total", "Regions dropped by the co-design filter", ls, &l.Dropped)
 	r.Counter("middle_zone_resets_total", "Zones reclaimed (reset) by GC", ls, &l.Resets)
+	r.Counter("middle_gc_busy_nanoseconds_total", "Simulated time spent in GC reclaim (migrations + resets)", ls, &l.GCTimeNs)
 	r.Counter("middle_zones_abandoned_total", "Zones retired after a torn/failed write", ls, &l.Abandoned)
 	r.Gauge("middle_empty_zones", "Zones in the reclaimable pool", ls, func() float64 {
 		return float64(l.EmptyZones())

@@ -1,6 +1,7 @@
 package middle
 
 import (
+	"math/bits"
 	"testing"
 
 	"znscache/internal/device"
@@ -64,6 +65,74 @@ func TestVictimThresholdPrefersCheapZones(t *testing.T) {
 		t.Fatalf("GC migrated %d regions from fully-live zones with free space available",
 			l.Migrated.Load())
 	}
+}
+
+func TestReclaimCountsResetLatency(t *testing.T) {
+	// A wholly-dead victim needs no migrations, so the only simulated time a
+	// reclaim can take is the zone reset itself. GCTimeNs must still move:
+	// dropping the Reset latency would report a free reclaim.
+	l := newLayer(t, false, func(c *Config) {
+		c.OpenZones = 1
+		c.MinEmptyZones = 31 // keep GC permanently eager
+		c.NumRegions = 64
+	})
+	rpz := l.regionsPerZone
+	for id := 0; id < rpz; id++ {
+		if _, err := l.WriteRegion(0, id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := 0; id < rpz; id++ {
+		l.EvictRegion(0, id)
+	}
+	// The next write's GC pass finds the dead zone and resets it.
+	if _, err := l.WriteRegion(0, rpz, nil); err != nil {
+		t.Fatal(err)
+	}
+	if l.Resets.Load() == 0 {
+		t.Fatal("test vacuous: GC never reset the dead zone")
+	}
+	if l.Migrated.Load() != 0 {
+		t.Fatalf("migrated %d regions from a wholly-dead zone", l.Migrated.Load())
+	}
+	if l.GCTimeNs.Load() == 0 {
+		t.Fatal("pure-reset reclaim recorded zero GC time (Reset latency dropped)")
+	}
+}
+
+func TestEmergencyGCRefusesFullyValidVictim(t *testing.T) {
+	// Fill two zones with live regions only, then starve the empty pool to
+	// the emergency threshold. A fully-valid victim reclaims nothing —
+	// migrating it is pure write amplification — so the picker must refuse
+	// even in an emergency.
+	l := newLayer(t, false, func(c *Config) { c.OpenZones = 1 })
+	rpz := l.regionsPerZone
+	for id := 0; id < 2*rpz; id++ {
+		if _, err := l.WriteRegion(0, id, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(l.full) < 2 {
+		t.Fatalf("test setup: %d full zones, want ≥ 2", len(l.full))
+	}
+	saved := l.empty
+	l.empty = l.empty[:1]
+	if _, ok := l.pickVictimLocked(); ok {
+		t.Fatal("emergency GC picked a fully-valid zone (zero reclaimable slots)")
+	}
+	// With even one dead slot the emergency path must fire again.
+	for z := range l.full {
+		l.invalidateLocked(l.zones[z].regions[0])
+		break
+	}
+	victim, ok := l.pickVictimLocked()
+	if !ok {
+		t.Fatal("emergency GC refused a zone with a reclaimable slot")
+	}
+	if v := bits.OnesCount64(l.zones[victim].bitmap); v == l.regionsPerZone {
+		t.Fatalf("picked victim %d is fully valid", victim)
+	}
+	l.empty = saved
 }
 
 func TestEvictThenRewriteReusesSpaceViaGC(t *testing.T) {

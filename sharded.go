@@ -58,6 +58,11 @@ func OpenSharded(cfg ShardedConfig) (*ShardedCache, error) {
 	c := &ShardedCache{rigs: make([]*harness.Rig, cfg.Shards)}
 	engines := make([]*cache.Cache, cfg.Shards)
 	for i := range engines {
+		// Each shard's admission policy instance is built by the shared
+		// factory with a shard-decorrelated seed: independent instances fix
+		// the cross-shard data race, the derived seeds keep replays
+		// deterministic per shard.
+		shardCfg.AdmissionSeed = cache.ShardSeed(cfg.AdmissionSeed, i)
 		single, err := Open(shardCfg)
 		if err != nil {
 			return nil, fmt.Errorf("znscache: shard %d: %w", i, err)
@@ -157,6 +162,7 @@ func (c *ShardedCache) Stats() Stats {
 		Sets:          ms.Sets,
 		Deletes:       ms.Deletes,
 		Evictions:     ms.Evictions,
+		AdmitRejects:  ms.AdmitRejects,
 		GetP50:        ms.GetLatency.P50,
 		GetP99:        ms.GetLatency.P99,
 		SimulatedTime: ms.SimulatedTime,

@@ -52,6 +52,19 @@ const (
 // Policy selects region eviction order.
 type Policy = cache.Policy
 
+// AdmissionFactory builds per-engine admission policy instances; see
+// package cache for the available factories (AdmitAllFactory,
+// ProbAdmitFactory, RejectFirstFactory, DynamicRandomFactory,
+// FrequencyFactory) and ParseAdmission for the bench-flag grammar.
+type AdmissionFactory = cache.AdmissionFactory
+
+// ParseAdmission turns an admission spec string ("all", "prob:0.5",
+// "reject-first", "dynamic-random", "frequency", ...) into a factory; see
+// cache.ParseAdmission.
+func ParseAdmission(spec string, budgetBytesPerSec float64) (AdmissionFactory, error) {
+	return cache.ParseAdmission(spec, budgetBytesPerSec)
+}
+
 // Eviction policies.
 const (
 	// FIFO evicts regions in allocation order (Navy's behaviour; default).
@@ -96,6 +109,13 @@ type Config struct {
 	// cache tracks only metadata (sizes, latencies, hit ratios) — the mode
 	// benchmarks use to keep memory flat.
 	TrackValues bool
+	// Admission builds the engine's admission policy (nil admits
+	// everything). A factory rather than an instance so OpenSharded can
+	// build one independently-seeded instance per shard.
+	Admission AdmissionFactory
+	// AdmissionSeed seeds the admission policy instance; OpenSharded
+	// decorrelates shards from it with cache.ShardSeed.
+	AdmissionSeed uint64
 }
 
 // Errors returned by the facade.
@@ -122,6 +142,9 @@ type Stats struct {
 	HitRatio float64
 	// Hits, Misses, Sets, Deletes, Evictions count operations.
 	Hits, Misses, Sets, Deletes, Evictions uint64
+	// AdmitRejects counts Sets the admission policy refused to write to
+	// flash (always 0 without a Config.Admission policy).
+	AdmitRejects uint64
 	// WriteAmplification is the factor at the layer the paper reports:
 	// device FTL for BlockCache, filesystem for FileCache, middle layer
 	// for RegionCache, and identically 1 for ZoneCache.
@@ -145,16 +168,18 @@ func Open(cfg Config) (*Cache, error) {
 		cfg.CacheBytes = int64(cfg.Zones) * hw.ZoneBytes() * 8 / 10
 	}
 	rc := harness.RigConfig{
-		Scheme:       cfg.Scheme,
-		HW:           hw,
-		CacheBytes:   cfg.CacheBytes,
-		RegionBytes:  cfg.RegionBytes,
-		OPRatio:      cfg.OPRatio,
-		Policy:       cfg.Policy,
-		PolicySet:    cfg.PolicySet,
-		CoDesign:     cfg.CoDesign,
-		ReinsertHits: cfg.ReinsertHits,
-		TrackValues:  cfg.TrackValues,
+		Scheme:           cfg.Scheme,
+		HW:               hw,
+		CacheBytes:       cfg.CacheBytes,
+		RegionBytes:      cfg.RegionBytes,
+		OPRatio:          cfg.OPRatio,
+		Policy:           cfg.Policy,
+		PolicySet:        cfg.PolicySet,
+		CoDesign:         cfg.CoDesign,
+		ReinsertHits:     cfg.ReinsertHits,
+		TrackValues:      cfg.TrackValues,
+		AdmissionFactory: cfg.Admission,
+		AdmissionSeed:    cfg.AdmissionSeed,
 	}
 	if cfg.Scheme == ZoneCache {
 		rc.ZoneCount = int(cfg.CacheBytes / hw.ZoneBytes())
@@ -232,6 +257,7 @@ func (c *Cache) Stats() Stats {
 		Sets:               st.Sets,
 		Deletes:            st.Deletes,
 		Evictions:          st.Evictions,
+		AdmitRejects:       st.AdmitRejects,
 		WriteAmplification: c.rig.WAFactor(),
 		GetP50:             st.GetLatency.P50,
 		GetP99:             st.GetLatency.P99,
