@@ -1,0 +1,176 @@
+// Command cacheserver serves a sharded znscache over the memcached text
+// protocol. It is the network face of the simulation: any memcached client
+// (or cmd/loadgen) can drive the paper's cache designs over TCP, with
+// metrics, event tracing, and a graceful shutdown that persists the cache
+// snapshot before exit.
+//
+// Shutdown ordering matters: on SIGINT/SIGTERM the server first drains
+// in-flight connections (server.Shutdown), and only then Closes the cache so
+// the snapshot covers every request that received a response.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"znscache"
+	"znscache/internal/harness"
+	"znscache/internal/obs"
+	"znscache/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:11211", "listen address for the memcached protocol")
+		scheme      = flag.String("scheme", "region", "cache backend: block|file|zone|region")
+		shards      = flag.Int("shards", 4, "independent cache engines (key-hash partitioned)")
+		zones       = flag.Int("zones", 64, "simulated device zone count (split across shards)")
+		cacheMiB    = flag.Int64("cache-mib", 0, "cache capacity in MiB (default 80% of the device)")
+		admission   = flag.String("admission", "", "admission policy: all|prob:P|reject-first[:BITS,WINDOW]|dynamic-random[:WINDOW_MS]|frequency[:THRESHOLD]")
+		admitBudget = flag.Float64("admit-budget", 0, "device-write budget in bytes/simulated-second (for dynamic-random)")
+		maxConns    = flag.Int("max-conns", 1024, "connection limit; excess connections wait in the accept queue")
+		maxValue    = flag.Int("max-value", 1<<20, "largest accepted value in bytes")
+		idle        = flag.Duration("idle", 5*time.Minute, "idle connection timeout")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
+		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
+		eventsFile  = flag.String("events", "", "record slow-request events and write them as JSON to this file on exit")
+		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "event ring capacity for -events (newest kept)")
+		slowMs      = flag.Int("slow-ms", 50, "slow-request threshold in milliseconds for -events")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *scheme, *shards, *zones, *cacheMiB, *admission, *admitBudget,
+		*maxConns, *maxValue, *idle, *drain, *metricsAddr, *eventsFile, *traceCap, *slowMs); err != nil {
+		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, schemeName string, shards, zones int, cacheMiB int64, admission string,
+	admitBudget float64, maxConns, maxValue int, idle, drain time.Duration,
+	metricsAddr, eventsFile string, traceCap, slowMs int) error {
+	schemes := map[string]harness.Scheme{
+		"block": znscache.BlockCache, "file": znscache.FileCache,
+		"zone": znscache.ZoneCache, "region": znscache.RegionCache,
+	}
+	s, ok := schemes[schemeName]
+	if !ok {
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+	cfg := znscache.ShardedConfig{
+		Config: znscache.Config{
+			Scheme:      s,
+			Zones:       zones,
+			CacheBytes:  cacheMiB << 20,
+			TrackValues: true, // the server returns real payloads
+		},
+		Shards: shards,
+	}
+	if admission != "" {
+		f, err := znscache.ParseAdmission(admission, admitBudget)
+		if err != nil {
+			return err
+		}
+		cfg.Admission = f
+	}
+	c, err := znscache.OpenSharded(cfg)
+	if err != nil {
+		return err
+	}
+
+	var tracer *obs.Tracer
+	if eventsFile != "" {
+		tracer = obs.NewTracer(traceCap)
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:          addr,
+		Backend:       c,
+		MaxConns:      maxConns,
+		MaxValueBytes: maxValue,
+		IdleTimeout:   idle,
+		Tracer:        tracer,
+		SlowThreshold: time.Duration(slowMs) * time.Millisecond,
+		StatsExtra: func() map[string]string {
+			st := c.Stats()
+			return map[string]string{
+				"cache_scheme":    st.Scheme.String(),
+				"cache_items":     fmt.Sprintf("%d", st.Items),
+				"cache_hit_ratio": fmt.Sprintf("%.4f", st.HitRatio),
+				"cache_evictions": fmt.Sprintf("%d", st.Evictions),
+				"cache_wa_factor": fmt.Sprintf("%.3f", st.WriteAmplification),
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	srv.MetricsInto(reg, obs.L("job", "cacheserver"))
+	if metricsAddr != "" {
+		ms, err := obs.StartServer(metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", ms.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+	fmt.Fprintf(os.Stderr, "serving %s/%d-shard cache on %s\n", schemeName, shards, srv.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "caught %v, draining (deadline %v)\n", sig, drain)
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	// Drain in-flight connections first, then snapshot: the snapshot must
+	// cover everything a client got a response for.
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v (snapshotting anyway)\n", err)
+	}
+	if err := c.Close(); err != nil {
+		return fmt.Errorf("cache close: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "cache snapshot persisted (%d shards)\n", len(c.Snapshots()))
+
+	if eventsFile != "" {
+		if err := writeEvents(eventsFile, tracer); err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+	}
+	return nil
+}
+
+// writeEvents dumps the retained trace ring as JSON.
+func writeEvents(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(tr.Events()); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d events retained, %d total)\n", path, len(tr.Events()), tr.Total())
+	return nil
+}

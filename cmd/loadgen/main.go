@@ -1,0 +1,148 @@
+// Command loadgen benchmarks a memcached-protocol server (cmd/cacheserver or
+// real memcached) with pipelined connections and a zipf-skewed get/set/delete
+// mix. Two modes:
+//
+//   - closed loop (default): every connection keeps its pipeline full, so
+//     achieved QPS is the server's ceiling at that concurrency.
+//   - open loop (-qps): batches are sent on a fixed schedule and latency is
+//     measured from the scheduled time, so a slow server accrues queueing
+//     delay instead of silently slowing the clients (coordinated omission).
+//
+// The summary prints achieved QPS with p50/p99/p999 latency; -json writes a
+// BENCH_serve.json report in the harness schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"znscache/internal/harness"
+	"znscache/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:11211", "server address")
+		conns    = flag.Int("conns", 8, "concurrent connections")
+		pipeline = flag.Int("pipeline", 8, "requests in flight per connection")
+		ops      = flag.Uint64("ops", 0, "total operation budget (0: run for -duration)")
+		duration = flag.Duration("duration", 3*time.Second, "run length when -ops is 0")
+		qps      = flag.Float64("qps", 0, "target rate for open-loop mode (0: closed loop)")
+		keys     = flag.Int64("keys", 65536, "key-space size")
+		theta    = flag.Float64("theta", 0, "zipf skew (0: workload default)")
+		getPct   = flag.Int("get-pct", 0, "get share of the mix in percent (0: workload default 50/30/20)")
+		setPct   = flag.Int("set-pct", 0, "set share of the mix in percent")
+		delPct   = flag.Int("del-pct", 0, "delete share of the mix in percent")
+		seed     = flag.Uint64("seed", 1, "workload seed")
+		fill     = flag.Bool("fill", true, "set the key after a get miss (read-through fill)")
+		sizes    = flag.String("value-sizes", "", "comma-separated object sizes in bytes (default 512,1024,4096,8192,16384)")
+		weights  = flag.String("value-weights", "", "comma-separated weights matching -value-sizes")
+		jsonDir  = flag.String("json", "", "write a BENCH_serve.json report into this directory")
+	)
+	flag.Parse()
+
+	valueSizes, err := parseInts(*sizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: -value-sizes: %v\n", err)
+		os.Exit(1)
+	}
+	valueWeights, err := parseInts(*weights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: -value-weights: %v\n", err)
+		os.Exit(1)
+	}
+
+	res, err := server.Run(server.LoadConfig{
+		Addr:         *addr,
+		Conns:        *conns,
+		Pipeline:     *pipeline,
+		Ops:          *ops,
+		Duration:     *duration,
+		TargetQPS:    *qps,
+		Keys:         *keys,
+		Theta:        *theta,
+		GetPct:       *getPct,
+		SetPct:       *setPct,
+		DelPct:       *delPct,
+		ValueSizes:   valueSizes,
+		ValueWeights: valueWeights,
+		Seed:         *seed,
+		FillOnMiss:   *fill,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("mode=%s conns=%d pipeline=%d", res.Mode, res.Conns, res.Pipeline)
+	if res.TargetQPS > 0 {
+		fmt.Printf(" target=%.0f/s", res.TargetQPS)
+	}
+	fmt.Printf("\nops=%d (get=%d set=%d del=%d fill=%d) errors=%d\n",
+		res.Ops, res.Gets, res.Sets, res.Deletes, res.Fills, res.Errors)
+	fmt.Printf("achieved %.0f ops/s over %v, hit ratio %.4f\n",
+		res.AchievedQPS, res.Elapsed.Round(time.Millisecond), res.HitRatio())
+	l := res.Latency
+	fmt.Printf("latency p50=%v p90=%v p99=%v p999=%v mean=%v max=%v\n",
+		l.P50, l.P90, l.P99, l.P999, l.Mean, l.Max)
+
+	if *jsonDir != "" {
+		rep := harness.NewServeReport([]harness.ServeRowJSON{toRow(res)})
+		path, err := rep.WriteFile(*jsonDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: report: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if res.Errors > 0 {
+		os.Exit(2)
+	}
+}
+
+// parseInts splits a comma-separated list of positive integers.
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// toRow converts a load result to the report wire form.
+func toRow(r *server.LoadResult) harness.ServeRowJSON {
+	return harness.ServeRowJSON{
+		Mode:        r.Mode,
+		Conns:       r.Conns,
+		Pipeline:    r.Pipeline,
+		TargetQPS:   r.TargetQPS,
+		AchievedQPS: r.AchievedQPS,
+		Ops:         r.Ops,
+		Gets:        r.Gets,
+		Sets:        r.Sets,
+		Deletes:     r.Deletes,
+		Hits:        r.Hits,
+		Misses:      r.Misses,
+		Fills:       r.Fills,
+		Errors:      r.Errors,
+		HitRatio:    r.HitRatio(),
+		ElapsedNs:   r.Elapsed.Nanoseconds(),
+		P50Ns:       r.Latency.P50.Nanoseconds(),
+		P90Ns:       r.Latency.P90.Nanoseconds(),
+		P99Ns:       r.Latency.P99.Nanoseconds(),
+		P999Ns:      r.Latency.P999.Nanoseconds(),
+		MeanNs:      r.Latency.Mean.Nanoseconds(),
+		MaxNs:       r.Latency.Max.Nanoseconds(),
+	}
+}

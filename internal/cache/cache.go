@@ -1151,6 +1151,23 @@ func (c *Cache) Drain() {
 	c.inflight = c.inflight[:0]
 }
 
+// SealOpen flushes the open region's partially-filled buffer to the store
+// through the normal roll path and drains the pipeline. Snapshot drops the
+// open region's DRAM contents — the right model for a crash, but a graceful
+// shutdown can do better: seal first and the buffered items persist like any
+// sealed region. Rolling follows insertion-path rules, so when no free
+// region remains it evicts the policy victim (trading the coldest region for
+// the freshest writes). A no-op when the buffer is empty.
+func (c *Cache) SealOpen() error {
+	if c.regions[c.open].fill > 0 {
+		if err := c.rollRegion(); err != nil {
+			return err
+		}
+	}
+	c.Drain()
+	return nil
+}
+
 // Stats snapshots the engine counters.
 func (c *Cache) Stats() Stats {
 	return Stats{

@@ -172,6 +172,32 @@ func (s *Sharded) Len() int {
 	return n
 }
 
+// Snapshot captures every shard's recovery metadata for a graceful
+// shutdown; the slice index is the shard index. Each shard, under its own
+// lock, first seals its open region (SealOpen — a graceful shutdown, unlike
+// a crash, gets to persist the DRAM buffer) and then serializes its
+// metadata, so each shard's snapshot is a consistent cut of that shard,
+// taken in shard order. A whole-cache warm roll wants quiescence first:
+// stop the traffic, then Snapshot.
+func (s *Sharded) Snapshot() ([][]byte, error) {
+	out := make([][]byte, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		err := sh.c.SealOpen()
+		var snap []byte
+		if err == nil {
+			snap, err = sh.c.Snapshot()
+		}
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, fmt.Errorf("cache: shard %d snapshot: %w", i, err)
+		}
+		out[i] = snap
+	}
+	return out, nil
+}
+
 // Drain completes all in-flight flushes on every shard.
 func (s *Sharded) Drain() {
 	for i := range s.shards {

@@ -167,6 +167,34 @@ type Report struct {
 	Table2     []Table2RowJSON    `json:"table2,omitempty"`
 	SmallZone  []SmallZoneRowJSON `json:"smallzone,omitempty"`
 	Admission  []AdmissionRowJSON `json:"admission,omitempty"`
+	Serve      []ServeRowJSON     `json:"serve,omitempty"`
+}
+
+// ServeRowJSON is one serving-benchmark run (cmd/loadgen against
+// cmd/cacheserver) in wire form. Latencies are wall-clock request times
+// measured at the client; hit_ratio is hits over get lookups.
+type ServeRowJSON struct {
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Conns       int     `json:"conns"`
+	Pipeline    int     `json:"pipeline"`
+	TargetQPS   float64 `json:"target_qps,omitempty"`
+	AchievedQPS float64 `json:"achieved_qps"`
+	Ops         uint64  `json:"ops"`
+	Gets        uint64  `json:"gets"`
+	Sets        uint64  `json:"sets"`
+	Deletes     uint64  `json:"deletes"`
+	Hits        uint64  `json:"hits"`
+	Misses      uint64  `json:"misses"`
+	Fills       uint64  `json:"fills"`
+	Errors      uint64  `json:"errors"`
+	HitRatio    float64 `json:"hit_ratio"`
+	ElapsedNs   int64   `json:"elapsed_ns"`
+	P50Ns       int64   `json:"p50_ns"`
+	P90Ns       int64   `json:"p90_ns"`
+	P99Ns       int64   `json:"p99_ns"`
+	P999Ns      int64   `json:"p999_ns"`
+	MeanNs      int64   `json:"mean_ns"`
+	MaxNs       int64   `json:"max_ns"`
 }
 
 // AdmissionRowJSON is AdmissionRow in wire form.
@@ -343,6 +371,11 @@ func NewSmallZoneReport(rows []SmallZoneRow) *Report {
 	return rep
 }
 
+// NewServeReport wraps serving-benchmark rows as a Report.
+func NewServeReport(rows []ServeRowJSON) *Report {
+	return &Report{Schema: ReportSchema, Experiment: "serve", Serve: rows}
+}
+
 // Validate checks the document invariants: the schema tag matches, the
 // experiment is named, and the named experiment's section is the one that is
 // populated.
@@ -358,6 +391,7 @@ func (r *Report) Validate() error {
 		"table2":      r.Table2 != nil,
 		"smallzone":   r.SmallZone != nil,
 		"admission":   r.Admission != nil,
+		"serve":       r.Serve != nil,
 	}
 	populated, known := sections[r.Experiment]
 	if !known {

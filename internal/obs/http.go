@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"fmt"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // expvarName is the /debug/vars key the registry is published under.
@@ -64,5 +66,26 @@ func StartServer(addr string, reg *Registry) (*Server, error) {
 // Addr returns the bound address (useful with ":0").
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
-func (s *Server) Close() error { return s.srv.Close() }
+// closeGrace is how long Close lets in-flight scrapes finish before their
+// connections are hard-closed.
+const closeGrace = 2 * time.Second
+
+// Shutdown stops the server gracefully: the listener closes immediately so
+// no new scrape starts, but requests already being served get until ctx's
+// deadline to complete. It returns ctx.Err() if the deadline expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// Close stops the server, letting in-flight scrapes complete within a short
+// grace period. A Prometheus scrape racing a cacheserver shutdown gets its
+// full body instead of a severed connection; only scrapes still running
+// after the grace are hard-closed.
+func (s *Server) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), closeGrace)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

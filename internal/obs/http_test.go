@@ -1,11 +1,13 @@
 package obs
 
 import (
+	"context"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"znscache/internal/stats"
 )
@@ -83,5 +85,105 @@ func TestStartServer(t *testing.T) {
 	}
 	if err := srv.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestCloseWaitsForInflightScrape pins the graceful-shutdown contract: a
+// /metrics scrape already being served when Close is called completes with
+// its full body instead of a severed connection. The scrape is held open by
+// a gauge whose read blocks until the test releases it after Close has begun.
+func TestCloseWaitsForInflightScrape(t *testing.T) {
+	r := NewRegistry()
+	scraping := make(chan struct{}) // closed when the gauge read starts
+	release := make(chan struct{})  // closed to let the scrape finish
+	var entered bool                // close scraping only once
+	r.Gauge("slow_gauge", "", nil, func() float64 {
+		if !entered {
+			entered = true
+			close(scraping)
+			<-release
+		}
+		return 42
+	})
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type scrape struct {
+		body string
+		err  error
+	}
+	got := make(chan scrape, 1)
+	go func() {
+		resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+		if err != nil {
+			got <- scrape{err: err}
+			return
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close() //nolint:errcheck
+		got <- scrape{body: string(body), err: err}
+	}()
+
+	<-scraping // the handler is mid-scrape now
+	closed := make(chan error, 1)
+	go func() { closed <- srv.Close() }()
+
+	// Close must not return while the scrape is still blocked.
+	select {
+	case err := <-closed:
+		t.Fatalf("Close returned (%v) with a scrape in flight", err)
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	if err := <-closed; err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	s := <-got
+	if s.err != nil {
+		t.Fatalf("in-flight scrape failed: %v", s.err)
+	}
+	if !strings.Contains(s.body, "slow_gauge 42") {
+		t.Fatalf("in-flight scrape body truncated:\n%s", s.body)
+	}
+
+	// New connections are refused once Close has returned.
+	if _, err := http.Get("http://" + srv.Addr() + "/metrics"); err == nil {
+		t.Fatal("scrape succeeded after Close")
+	}
+}
+
+// TestShutdownDeadlineExpires verifies Shutdown honours its context: with a
+// scrape stuck past the deadline, Shutdown returns the context error rather
+// than hanging.
+func TestShutdownDeadlineExpires(t *testing.T) {
+	r := NewRegistry()
+	scraping := make(chan struct{})
+	release := make(chan struct{})
+	var entered bool
+	r.Gauge("stuck_gauge", "", nil, func() float64 {
+		if !entered {
+			entered = true
+			close(scraping)
+			<-release
+		}
+		return 0
+	})
+	srv, err := StartServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer close(release)
+	defer srv.srv.Close() //nolint:errcheck // hard stop after the test
+
+	go http.Get("http://" + srv.Addr() + "/metrics") //nolint:errcheck
+	<-scraping
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != context.DeadlineExceeded {
+		t.Fatalf("Shutdown = %v, want context.DeadlineExceeded", err)
 	}
 }

@@ -1,0 +1,289 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client is a pipelined memcached text-protocol client: Queue* methods
+// buffer requests, Exchange flushes them in one write and reads all the
+// responses. It is the load generator's transport and doubles as the test
+// suite's way of speaking the protocol. Not safe for concurrent use — the
+// load generator runs one Client per connection goroutine.
+type Client struct {
+	nc      net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	pending []byte // one request kind per queued request: 'g', 's', 'd'
+	// Timeout bounds each Exchange's network reads and writes (default 30s).
+	Timeout time.Duration
+}
+
+// Resp is one request's outcome. Hit means: value found (get), stored
+// (set), or key existed (delete). Err carries a server-reported error line
+// verbatim (ERROR / CLIENT_ERROR ... / SERVER_ERROR ...), empty on success.
+type Resp struct {
+	Hit   bool
+	Flags uint32
+	Value []byte
+	Cas   uint64
+	Err   string
+}
+
+// Dial connects to a cacheserver.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true) //nolint:errcheck
+	}
+	return &Client{
+		nc:      nc,
+		br:      bufio.NewReaderSize(nc, 64<<10),
+		bw:      bufio.NewWriterSize(nc, 64<<10),
+		Timeout: 30 * time.Second,
+	}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.nc.Close() }
+
+// QueueGet buffers a single-key get (or gets, when withCas).
+func (c *Client) QueueGet(key string, withCas bool) {
+	if withCas {
+		c.bw.WriteString("gets ") //nolint:errcheck
+	} else {
+		c.bw.WriteString("get ") //nolint:errcheck
+	}
+	c.bw.WriteString(key)  //nolint:errcheck
+	c.bw.WriteString(crlf) //nolint:errcheck
+	c.pending = append(c.pending, 'g')
+}
+
+// QueueSet buffers a set.
+func (c *Client) QueueSet(key string, flags uint32, exptime int64, value []byte) {
+	c.bw.WriteString("set ") //nolint:errcheck
+	c.bw.WriteString(key)    //nolint:errcheck
+	c.bw.WriteByte(' ')      //nolint:errcheck
+	writeUint(c.bw, uint64(flags))
+	c.bw.WriteByte(' ')                              //nolint:errcheck
+	c.bw.WriteString(strconv.FormatInt(exptime, 10)) //nolint:errcheck
+	c.bw.WriteByte(' ')                              //nolint:errcheck
+	writeUint(c.bw, uint64(len(value)))
+	c.bw.WriteString(crlf) //nolint:errcheck
+	c.bw.Write(value)      //nolint:errcheck
+	c.bw.WriteString(crlf) //nolint:errcheck
+	c.pending = append(c.pending, 's')
+}
+
+// QueueDelete buffers a delete.
+func (c *Client) QueueDelete(key string) {
+	c.bw.WriteString("delete ") //nolint:errcheck
+	c.bw.WriteString(key)       //nolint:errcheck
+	c.bw.WriteString(crlf)      //nolint:errcheck
+	c.pending = append(c.pending, 'd')
+}
+
+// Exchange flushes every queued request in one write and reads their
+// responses in order. A transport error poisons the connection; a
+// server-reported error is returned per-response in Resp.Err.
+func (c *Client) Exchange() ([]Resp, error) {
+	if len(c.pending) == 0 {
+		return nil, nil
+	}
+	c.nc.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+	if err := c.bw.Flush(); err != nil {
+		c.pending = c.pending[:0]
+		return nil, err
+	}
+	out := make([]Resp, 0, len(c.pending))
+	for _, kind := range c.pending {
+		r, err := c.readResp(kind)
+		if err != nil {
+			c.pending = c.pending[:0]
+			return out, err
+		}
+		out = append(out, r)
+	}
+	c.pending = c.pending[:0]
+	return out, nil
+}
+
+// readResp parses one response for a request of the given kind.
+func (c *Client) readResp(kind byte) (Resp, error) {
+	switch kind {
+	case 'g':
+		return c.readGetResp()
+	case 's', 'd':
+		line, err := c.readLine()
+		if err != nil {
+			return Resp{}, err
+		}
+		switch {
+		case kind == 's' && line == "STORED":
+			return Resp{Hit: true}, nil
+		case kind == 's' && line == "NOT_STORED":
+			return Resp{}, nil
+		case kind == 'd' && line == "DELETED":
+			return Resp{Hit: true}, nil
+		case kind == 'd' && line == "NOT_FOUND":
+			return Resp{}, nil
+		case isErrorLine(line):
+			return Resp{Err: line}, nil
+		}
+		return Resp{}, fmt.Errorf("server: unexpected response %q", line)
+	}
+	return Resp{}, fmt.Errorf("server: unknown request kind %q", kind)
+}
+
+// readGetResp parses zero or one VALUE blocks terminated by END.
+func (c *Client) readGetResp() (Resp, error) {
+	var r Resp
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return r, err
+		}
+		switch {
+		case line == "END":
+			return r, nil
+		case strings.HasPrefix(line, "VALUE "):
+			parts := strings.Fields(line)
+			if len(parts) < 4 {
+				return r, fmt.Errorf("server: malformed VALUE line %q", line)
+			}
+			flags, err := strconv.ParseUint(parts[2], 10, 32)
+			if err != nil {
+				return r, fmt.Errorf("server: bad flags in %q", line)
+			}
+			n, err := strconv.ParseUint(parts[3], 10, 31)
+			if err != nil {
+				return r, fmt.Errorf("server: bad length in %q", line)
+			}
+			if len(parts) >= 5 {
+				if cas, err := strconv.ParseUint(parts[4], 10, 64); err == nil {
+					r.Cas = cas
+				}
+			}
+			body := make([]byte, int(n)+2)
+			if _, err := io.ReadFull(c.br, body); err != nil {
+				return r, err
+			}
+			r.Hit = true
+			r.Flags = uint32(flags)
+			r.Value = body[:n]
+		case isErrorLine(line):
+			r.Err = line
+			return r, nil // error lines are terminal; no END follows
+		default:
+			return r, fmt.Errorf("server: unexpected response %q", line)
+		}
+	}
+}
+
+// Get fetches one key.
+func (c *Client) Get(key string) (Resp, error) {
+	c.QueueGet(key, false)
+	return c.one()
+}
+
+// Gets fetches one key with its cas token.
+func (c *Client) Gets(key string) (Resp, error) {
+	c.QueueGet(key, true)
+	return c.one()
+}
+
+// Set stores one key.
+func (c *Client) Set(key string, flags uint32, exptime int64, value []byte) (Resp, error) {
+	c.QueueSet(key, flags, exptime, value)
+	return c.one()
+}
+
+// Delete removes one key.
+func (c *Client) Delete(key string) (Resp, error) {
+	c.QueueDelete(key)
+	return c.one()
+}
+
+func (c *Client) one() (Resp, error) {
+	rs, err := c.Exchange()
+	if err != nil {
+		return Resp{}, err
+	}
+	return rs[0], nil
+}
+
+// Version asks the server for its version string.
+func (c *Client) Version() (string, error) {
+	c.nc.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+	if _, err := c.bw.WriteString("version" + crlf); err != nil {
+		return "", err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return "", err
+	}
+	line, err := c.readLine()
+	if err != nil {
+		return "", err
+	}
+	if !strings.HasPrefix(line, "VERSION ") {
+		return "", fmt.Errorf("server: unexpected version response %q", line)
+	}
+	return strings.TrimPrefix(line, "VERSION "), nil
+}
+
+// Stats fetches the stats command as a name→value map.
+func (c *Client) Stats() (map[string]string, error) {
+	c.nc.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
+	if _, err := c.bw.WriteString("stats" + crlf); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err
+		}
+		if line == "END" {
+			return out, nil
+		}
+		parts := strings.SplitN(line, " ", 3)
+		if len(parts) != 3 || parts[0] != "STAT" {
+			return nil, fmt.Errorf("server: unexpected stats line %q", line)
+		}
+		out[parts[1]] = parts[2]
+	}
+}
+
+// Quit sends quit and closes the connection.
+func (c *Client) Quit() error {
+	c.bw.WriteString("quit" + crlf) //nolint:errcheck
+	c.bw.Flush()                    //nolint:errcheck
+	return c.nc.Close()
+}
+
+// readLine reads one CRLF-terminated response line.
+func (c *Client) readLine() (string, error) {
+	line, err := c.br.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimRight(line, "\r\n"), nil
+}
+
+// isErrorLine reports whether line is one of the protocol's error replies.
+func isErrorLine(line string) bool {
+	return line == "ERROR" ||
+		strings.HasPrefix(line, "CLIENT_ERROR ") ||
+		strings.HasPrefix(line, "SERVER_ERROR ")
+}

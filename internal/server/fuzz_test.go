@@ -1,0 +1,83 @@
+package server
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+)
+
+// FuzzProtocol throws arbitrary bytes at a live server. The invariants: the
+// server never panics (a recovered panic is counted, and asserted zero), and
+// it keeps serving fresh connections no matter what a previous connection
+// sent. Response content is not asserted — garbage may legitimately earn
+// ERROR, CLIENT_ERROR, or a severed connection.
+func FuzzProtocol(f *testing.F) {
+	seeds := []string{
+		"get k\r\n",
+		"gets a b c\r\n",
+		"set k 0 0 3\r\nabc\r\n",
+		"set k 0 0 3 noreply\r\nabc\r\n",
+		"delete k\r\n",
+		"stats\r\nversion\r\nquit\r\n",
+		"set k 0 0 999999999\r\n",
+		"set k 0 0 -1\r\n",
+		"set k \xff\xfe 0 3\r\nabc\r\n",
+		"\r\n\r\n\r\n",
+		"get \x00\x01\x02\r\n",
+		"set k 0 0 3\r\nabcdef\r\n",
+		"VALUE injection 0 0\r\n\r\nEND\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	b := newMapBackend()
+	b.m["k"] = encodeValue(0, []byte("v"))
+	srv, err := New(Config{
+		Backend:     b,
+		ReadTimeout: 200 * time.Millisecond,
+		IdleTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	go srv.Serve() //nolint:errcheck
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		nc, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatalf("server stopped accepting: %v", err)
+		}
+		nc.SetDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+		nc.Write(data)                              //nolint:errcheck
+		// Drain whatever comes back until the server closes or goes quiet.
+		buf := make([]byte, 4096)
+		nc.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+		for {
+			if _, err := nc.Read(buf); err != nil {
+				break
+			}
+		}
+		nc.Close() //nolint:errcheck
+
+		if n := srv.m.panics.Load(); n != 0 {
+			t.Fatalf("server recovered %d panic(s) on input %q", n, data)
+		}
+		// The server must still serve a well-formed client.
+		cl, err := Dial(srv.Addr())
+		if err != nil {
+			t.Fatalf("server dead after input %q: %v", data, err)
+		}
+		cl.Timeout = 2 * time.Second
+		if _, err := cl.Version(); err != nil {
+			t.Fatalf("server unresponsive after input %q: %v", data, err)
+		}
+		cl.Close() //nolint:errcheck
+	})
+}

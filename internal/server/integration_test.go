@@ -1,0 +1,184 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"znscache"
+	"znscache/internal/server"
+)
+
+// openCache builds a small sharded RegionCache with value tracking — the
+// cacheserver's configuration.
+func openCache(t *testing.T) *znscache.ShardedCache {
+	t.Helper()
+	c, err := znscache.OpenSharded(znscache.ShardedConfig{
+		Config: znscache.Config{Zones: 16, TrackValues: true},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestServeShardedCacheEndToEnd drives the loadgen against a server over the
+// real simulated cache: the full serving path, protocol to device model.
+func TestServeShardedCacheEndToEnd(t *testing.T) {
+	c := openCache(t)
+	defer c.Close() //nolint:errcheck
+	s, err := server.New(server.Config{Backend: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve() //nolint:errcheck
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	}()
+
+	res, err := server.Run(server.LoadConfig{
+		Addr:       s.Addr(),
+		Conns:      4,
+		Pipeline:   8,
+		Ops:        4000,
+		Keys:       2048,
+		Seed:       42,
+		FillOnMiss: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("loadgen saw %d errors against the real cache", res.Errors)
+	}
+	if res.Hits == 0 || res.Fills == 0 {
+		t.Fatalf("no cache activity: hits=%d fills=%d", res.Hits, res.Fills)
+	}
+	st := c.Stats()
+	if st.Sets == 0 || st.Hits == 0 {
+		t.Fatalf("cache engine saw no traffic: %+v", st)
+	}
+}
+
+// TestShutdownThenWarmRoll is the full graceful-shutdown story: serve
+// traffic, Shutdown the server, Close the cache (snapshot), Reopen it, and
+// verify the reopened cache still serves the pre-shutdown keys through a
+// fresh server.
+func TestShutdownThenWarmRoll(t *testing.T) {
+	c := openCache(t)
+	s, err := server.New(server.Config{Backend: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve() //nolint:errcheck
+
+	cl, err := server.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 100
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("warm:%03d", i)
+		if r, err := cl.Set(k, uint32(i), 0, []byte(k)); err != nil || !r.Hit {
+			t.Fatalf("Set(%s) = %+v, %v", k, r, err)
+		}
+	}
+	cl.Close() //nolint:errcheck
+
+	// Shutdown ordering: stop the server first (drains in-flight work),
+	// then Close the cache so the snapshot covers everything served.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("cache Close: %v", err)
+	}
+
+	r2, err := c.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close() //nolint:errcheck
+	if got := r2.Len(); got != keys {
+		t.Fatalf("reopened cache Len = %d, want %d", got, keys)
+	}
+
+	// A fresh server over the reopened cache serves the old data with the
+	// original flags.
+	s2, err := server.New(server.Config{Backend: r2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s2.Serve() //nolint:errcheck
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s2.Shutdown(ctx) //nolint:errcheck
+	}()
+	cl2, err := server.Dial(s2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close() //nolint:errcheck
+	for _, i := range []int{0, 7, 50, 99} {
+		k := fmt.Sprintf("warm:%03d", i)
+		r, err := cl2.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Hit || string(r.Value) != k || r.Flags != uint32(i) {
+			t.Fatalf("after warm roll Get(%s) = hit=%v value=%q flags=%d", k, r.Hit, r.Value, r.Flags)
+		}
+	}
+}
+
+// TestStatsExtraExposesCacheNumbers wires cache stats into the stats
+// command the way cmd/cacheserver does.
+func TestStatsExtraExposesCacheNumbers(t *testing.T) {
+	c := openCache(t)
+	defer c.Close() //nolint:errcheck
+	s, err := server.New(server.Config{
+		Backend: c,
+		StatsExtra: func() map[string]string {
+			st := c.Stats()
+			return map[string]string{
+				"cache_hit_ratio": fmt.Sprintf("%.4f", st.HitRatio),
+				"cache_scheme":    st.Scheme.String(),
+				"cache_wa_factor": fmt.Sprintf("%.3f", st.WriteAmplification),
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve() //nolint:errcheck
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+	}()
+
+	cl, err := server.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cache_hit_ratio", "cache_scheme", "cache_wa_factor"} {
+		if _, ok := st[want]; !ok {
+			t.Errorf("stats missing %s: %v", want, st)
+		}
+	}
+	if st["cache_scheme"] == "" {
+		t.Fatal("cache_scheme empty")
+	}
+}

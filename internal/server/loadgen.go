@@ -1,0 +1,307 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"znscache/internal/cache"
+	"znscache/internal/stats"
+	"znscache/internal/workload"
+)
+
+// LoadConfig parameterizes a load-generation run against a cacheserver.
+type LoadConfig struct {
+	// Addr is the cacheserver address. Required.
+	Addr string
+	// Conns is the number of concurrent connections (default 8).
+	Conns int
+	// Pipeline is the number of requests in flight per connection — each
+	// batch is written in one flush and its responses read together
+	// (default 8; 1 disables pipelining).
+	Pipeline int
+	// Ops is the total request budget for the closed loop. When 0 the run
+	// is time-bounded by Duration instead.
+	Ops uint64
+	// Duration bounds a time-based run (default 3s when Ops is 0).
+	Duration time.Duration
+	// TargetQPS > 0 selects the open loop: batches are launched on a fixed
+	// schedule at this aggregate rate, and latency is measured from each
+	// batch's scheduled time, so queueing delay when the server falls
+	// behind is charged to the server (no coordinated omission).
+	TargetQPS float64
+	// Keys is the key-space size (default 64k).
+	Keys int64
+	// Theta is the zipf skew (default 0.99).
+	Theta float64
+	// GetPct/SetPct/DelPct is the op mix (default 50/30/20, the bc mix).
+	GetPct, SetPct, DelPct int
+	// ValueSizes/ValueWeights describe the object-size distribution
+	// (defaults follow workload.BCConfig).
+	ValueSizes   []int
+	ValueWeights []int
+	// Seed decorrelates per-connection generators (splitmix64-derived).
+	Seed uint64
+	// FillOnMiss inserts the object after a get miss (read-through fill,
+	// how CacheBench drives a cache). Fills ride in the next batch.
+	FillOnMiss bool
+}
+
+func (c *LoadConfig) fillDefaults() {
+	if c.Conns <= 0 {
+		c.Conns = 8
+	}
+	if c.Pipeline <= 0 {
+		c.Pipeline = 8
+	}
+	if c.Ops == 0 && c.Duration <= 0 {
+		c.Duration = 3 * time.Second
+	}
+	if c.Keys <= 0 {
+		c.Keys = 64 << 10
+	}
+}
+
+// LoadResult is one run's outcome. Latencies are wall-clock request (batch
+// round-trip) times; every request in a batch observes the batch latency.
+type LoadResult struct {
+	Mode            string // "closed" or "open"
+	Conns, Pipeline int
+	TargetQPS       float64
+
+	Ops     uint64 // requests sent (including fills)
+	Gets    uint64
+	Sets    uint64
+	Deletes uint64
+	Hits    uint64
+	Misses  uint64
+	Fills   uint64 // read-through fills issued after misses
+	Errors  uint64 // transport failures and server-reported error replies
+
+	Elapsed     time.Duration
+	AchievedQPS float64
+	Latency     stats.HistSnapshot
+}
+
+// HitRatio returns hits over get lookups (0 when no gets completed).
+func (r *LoadResult) HitRatio() float64 {
+	if r.Hits+r.Misses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Hits+r.Misses)
+}
+
+// loadCounters aggregates across connection goroutines.
+type loadCounters struct {
+	ops, gets, sets, deletes  atomic.Uint64
+	hits, misses, fills, errs atomic.Uint64
+}
+
+// Run drives the configured load against the server and reports the result.
+// Closed loop (TargetQPS == 0): every connection keeps Pipeline requests in
+// flight back to back, measuring throughput at full backpressure. Open loop
+// (TargetQPS > 0): batches launch on a fixed schedule and latency includes
+// any time a batch spent waiting behind a slow server.
+func Run(cfg LoadConfig) (*LoadResult, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("server: LoadConfig.Addr is required")
+	}
+	cfg.fillDefaults()
+
+	hist := stats.NewHistogram()
+	var ctr loadCounters
+	var budget atomic.Int64
+	budget.Store(int64(cfg.Ops))
+
+	mode := "closed"
+	var interval time.Duration
+	if cfg.TargetQPS > 0 {
+		mode = "open"
+		// Aggregate rate split across connections, one batch per tick.
+		perConn := cfg.TargetQPS / float64(cfg.Conns)
+		interval = time.Duration(float64(cfg.Pipeline) / perConn * float64(time.Second))
+	}
+
+	start := time.Now()
+	var deadline time.Time
+	if cfg.Duration > 0 {
+		deadline = start.Add(cfg.Duration)
+	}
+
+	var wg sync.WaitGroup
+	var dialErr atomic.Value
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, err := Dial(cfg.Addr)
+			if err != nil {
+				dialErr.Store(err)
+				return
+			}
+			defer cl.Close() //nolint:errcheck
+			gen := workload.NewBC(workload.BCConfig{
+				Keys:         cfg.Keys,
+				GetPct:       cfg.GetPct,
+				SetPct:       cfg.SetPct,
+				DelPct:       cfg.DelPct,
+				Theta:        cfg.Theta,
+				ValueSizes:   cfg.ValueSizes,
+				ValueWeights: cfg.ValueWeights,
+				Seed:         cache.ShardSeed(cfg.Seed, i),
+			})
+			runConn(cl, &cfg, gen, hist, &ctr, &budget, deadline, start, interval, i)
+		}(i)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if err, ok := dialErr.Load().(error); ok {
+		return nil, fmt.Errorf("server: loadgen dial: %w", err)
+	}
+	res := &LoadResult{
+		Mode:      mode,
+		Conns:     cfg.Conns,
+		Pipeline:  cfg.Pipeline,
+		TargetQPS: cfg.TargetQPS,
+		Ops:       ctr.ops.Load(),
+		Gets:      ctr.gets.Load(),
+		Sets:      ctr.sets.Load(),
+		Deletes:   ctr.deletes.Load(),
+		Hits:      ctr.hits.Load(),
+		Misses:    ctr.misses.Load(),
+		Fills:     ctr.fills.Load(),
+		Errors:    ctr.errs.Load(),
+		Elapsed:   elapsed,
+		Latency:   hist.Snapshot(),
+	}
+	if elapsed > 0 {
+		res.AchievedQPS = float64(res.Ops) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// batchOp remembers what each queued request was, to classify its response.
+type batchOp struct {
+	kind   workload.OpKind
+	key    string
+	valLen int
+	isFill bool
+}
+
+// runConn is one connection's request loop.
+func runConn(cl *Client, cfg *LoadConfig, gen *workload.BC, hist *stats.Histogram,
+	ctr *loadCounters, budget *atomic.Int64, deadline, start time.Time,
+	interval time.Duration, connIdx int) {
+
+	// payload is a shared template the value bytes are sliced from; the
+	// client's buffered writer copies on write, so sharing is safe. 16 KiB
+	// covers workload.BCConfig's default size distribution.
+	maxVal := 16384
+	for _, sz := range cfg.ValueSizes {
+		if sz > maxVal {
+			maxVal = sz
+		}
+	}
+	payload := make([]byte, maxVal)
+	for i := range payload {
+		payload[i] = byte('a' + i%26)
+	}
+
+	// Open-loop schedule, staggered so connections don't tick in phase.
+	next := start
+	if interval > 0 {
+		next = start.Add(interval * time.Duration(connIdx) / time.Duration(cfg.Conns))
+	}
+
+	var fills []batchOp
+	batch := make([]batchOp, 0, cfg.Pipeline)
+	for {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return
+		}
+		// Claim this batch against the op budget (closed-loop Ops mode).
+		want := cfg.Pipeline
+		if cfg.Ops > 0 {
+			left := budget.Add(-int64(want))
+			if left < 0 {
+				want += int(left) // partial final batch
+				if want <= 0 {
+					return
+				}
+			}
+		}
+
+		batch = batch[:0]
+		// Fills from the previous batch ride ahead of fresh ops.
+		for len(fills) > 0 && len(batch) < want {
+			batch = append(batch, fills[0])
+			fills = fills[1:]
+		}
+		for len(batch) < want {
+			op := gen.Next()
+			batch = append(batch, batchOp{kind: op.Kind, key: op.Key, valLen: op.ValLen})
+		}
+		for _, b := range batch {
+			switch b.kind {
+			case workload.OpGet:
+				cl.QueueGet(b.key, false)
+			case workload.OpSet:
+				n := b.valLen
+				if n > len(payload) {
+					n = len(payload)
+				}
+				cl.QueueSet(b.key, 0, 0, payload[:n])
+			case workload.OpDelete:
+				cl.QueueDelete(b.key)
+			}
+		}
+
+		sentAt := time.Now()
+		if interval > 0 {
+			if wait := time.Until(next); wait > 0 {
+				time.Sleep(wait)
+			}
+			sentAt = next // open loop: charge schedule slip to the server
+			next = next.Add(interval)
+		}
+		rs, err := cl.Exchange()
+		lat := time.Since(sentAt)
+		if err != nil {
+			ctr.errs.Add(1)
+			return // transport gone; this connection is done
+		}
+		for j, r := range rs {
+			b := batch[j]
+			hist.Observe(lat)
+			ctr.ops.Add(1)
+			if r.Err != "" {
+				ctr.errs.Add(1)
+				continue
+			}
+			switch b.kind {
+			case workload.OpGet:
+				ctr.gets.Add(1)
+				if r.Hit {
+					ctr.hits.Add(1)
+				} else {
+					ctr.misses.Add(1)
+					if cfg.FillOnMiss {
+						fills = append(fills, batchOp{
+							kind: workload.OpSet, key: b.key,
+							valLen: b.valLen, isFill: true,
+						})
+					}
+				}
+			case workload.OpSet:
+				ctr.sets.Add(1)
+				if b.isFill {
+					ctr.fills.Add(1)
+				}
+			case workload.OpDelete:
+				ctr.deletes.Add(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Version is the string the version command reports.
+const Version = "znscache/1.0"
+
+// Protocol constants.
+const (
+	crlf         = "\r\n"
+	respStored   = "STORED\r\n"
+	respDeleted  = "DELETED\r\n"
+	respNotFound = "NOT_FOUND\r\n"
+	respEnd      = "END\r\n"
+	respError    = "ERROR\r\n"
+
+	// maxKeyLen is memcached's key limit.
+	maxKeyLen = 250
+	// relativeExpCutoff: exptimes up to this many seconds are relative,
+	// larger ones are absolute unix times (memcached's 30-day rule).
+	relativeExpCutoff = 30 * 24 * 3600
+)
+
+// dispatch parses and serves one command line. It reports quit (clean
+// client-requested close) and fatal (the stream can no longer be trusted —
+// close this connection after flushing whatever error response was written).
+func (s *Server) dispatch(c *conn, br *bufio.Reader, bw *bufio.Writer, line []byte) (quit, fatal bool) {
+	args := strings.Fields(string(line))
+	if len(args) == 0 {
+		s.m.protoErrors.Inc()
+		bw.WriteString(respError) //nolint:errcheck
+		return false, false
+	}
+	switch args[0] {
+	case "get":
+		s.handleGet(bw, args[1:], false)
+	case "gets":
+		s.handleGet(bw, args[1:], true)
+	case "set":
+		return false, s.handleSet(c, br, bw, args[1:])
+	case "delete":
+		s.handleDelete(bw, args[1:])
+	case "stats":
+		s.m.other.Inc()
+		s.handleStats(bw)
+	case "version":
+		s.m.other.Inc()
+		bw.WriteString("VERSION " + Version + crlf) //nolint:errcheck
+	case "quit":
+		s.m.other.Inc()
+		return true, false
+	default:
+		s.m.other.Inc()
+		s.m.protoErrors.Inc()
+		bw.WriteString(respError) //nolint:errcheck
+	}
+	return false, false
+}
+
+// handleGet serves get/gets over one or more keys. Keys are validated before
+// any VALUE output so an error response is never spliced into a data stream.
+func (s *Server) handleGet(bw *bufio.Writer, keys []string, withCas bool) {
+	if len(keys) == 0 {
+		s.m.protoErrors.Inc()
+		bw.WriteString(respError) //nolint:errcheck
+		return
+	}
+	for _, k := range keys {
+		if !validKey(k) {
+			s.m.protoErrors.Inc()
+			writeClientError(bw, "bad key")
+			return
+		}
+	}
+	for _, k := range keys {
+		s.m.gets.Inc()
+		v, ok, err := s.cfg.Backend.Get(k)
+		if err != nil {
+			writeServerError(bw, err.Error())
+			return
+		}
+		if !ok {
+			s.m.getMisses.Inc()
+			continue
+		}
+		s.m.getHits.Inc()
+		flags, data := decodeValue(v)
+		bw.WriteString("VALUE ") //nolint:errcheck
+		bw.WriteString(k)        //nolint:errcheck
+		bw.WriteByte(' ')        //nolint:errcheck
+		writeUint(bw, uint64(flags))
+		bw.WriteByte(' ') //nolint:errcheck
+		writeUint(bw, uint64(len(data)))
+		if withCas {
+			bw.WriteByte(' ') //nolint:errcheck
+			writeUint(bw, casOf(data))
+		}
+		bw.WriteString(crlf) //nolint:errcheck
+		bw.Write(data)       //nolint:errcheck
+		bw.WriteString(crlf) //nolint:errcheck
+	}
+	bw.WriteString(respEnd) //nolint:errcheck
+}
+
+// handleSet serves "set <key> <flags> <exptime> <bytes> [noreply]" followed
+// by a <bytes>-long data chunk and CRLF. The bytes field is parsed first:
+// without it the stream cannot be resynced past the body, so a bad length is
+// fatal to the connection; every other malformed field is reported after the
+// body has been consumed and the connection survives.
+func (s *Server) handleSet(c *conn, br *bufio.Reader, bw *bufio.Writer, args []string) (fatal bool) {
+	s.m.sets.Inc()
+	if len(args) < 4 || len(args) > 5 {
+		s.m.protoErrors.Inc()
+		writeClientError(bw, "bad command line format")
+		return true
+	}
+	n, err := strconv.ParseUint(args[3], 10, 31)
+	if err != nil {
+		s.m.protoErrors.Inc()
+		writeClientError(bw, "bad data chunk length")
+		return true
+	}
+	noreply := len(args) == 5 && args[4] == "noreply"
+
+	if int(n) > s.cfg.MaxValueBytes {
+		// Swallow the declared body to stay in sync, then refuse (memcached
+		// keeps the connection for oversized objects).
+		if !s.discardBody(c, br, bw, int64(n)) {
+			return true
+		}
+		s.m.protoErrors.Inc()
+		if !noreply {
+			writeServerError(bw, "object too large for cache")
+		}
+		return false
+	}
+	body := make([]byte, int(n)+2)
+	if s.readBody(c, br, body) != nil {
+		return true // transport failure mid-body; nothing sane to reply
+	}
+	if body[n] != '\r' || body[n+1] != '\n' {
+		s.m.protoErrors.Inc()
+		writeClientError(bw, "bad data chunk")
+		return true
+	}
+	data := body[:n]
+
+	key := args[0]
+	flags, ferr := strconv.ParseUint(args[1], 10, 32)
+	exptime, eerr := strconv.ParseInt(args[2], 10, 64)
+	if !validKey(key) || ferr != nil || eerr != nil || (len(args) == 5 && !noreply) {
+		s.m.protoErrors.Inc()
+		if !noreply {
+			writeClientError(bw, "bad command line format")
+		}
+		return false
+	}
+
+	var serr error
+	switch {
+	case exptime == 0:
+		serr = s.cfg.Backend.Set(key, encodeValue(uint32(flags), data))
+	case exptime < 0:
+		// Already expired: memcached stores it invisible; deleting any
+		// previous value is observably identical.
+		s.cfg.Backend.Delete(key)
+	default:
+		ttl := expTTL(exptime)
+		if ttl <= 0 {
+			s.cfg.Backend.Delete(key)
+		} else {
+			serr = s.cfg.Backend.SetWithTTL(key, encodeValue(uint32(flags), data), ttl)
+		}
+	}
+	if serr != nil {
+		if !noreply {
+			writeServerError(bw, serr.Error())
+		}
+		return false
+	}
+	if !noreply {
+		bw.WriteString(respStored) //nolint:errcheck
+	}
+	return false
+}
+
+// handleDelete serves "delete <key> [noreply]".
+func (s *Server) handleDelete(bw *bufio.Writer, args []string) {
+	s.m.deletes.Inc()
+	noreply := len(args) == 2 && args[1] == "noreply"
+	if len(args) < 1 || len(args) > 2 || (len(args) == 2 && !noreply) || !validKey(args[0]) {
+		s.m.protoErrors.Inc()
+		if !noreply {
+			writeClientError(bw, "bad command line format")
+		}
+		return
+	}
+	found := s.cfg.Backend.Delete(args[0])
+	if noreply {
+		return
+	}
+	if found {
+		bw.WriteString(respDeleted) //nolint:errcheck
+	} else {
+		bw.WriteString(respNotFound) //nolint:errcheck
+	}
+}
+
+// handleStats serves the stats command: the server's own instruments in
+// memcached's classic names, then any StatsExtra lines sorted by name.
+func (s *Server) handleStats(bw *bufio.Writer) {
+	m := &s.m
+	writeStat(bw, "uptime_seconds", strconv.FormatInt(int64(time.Since(s.start).Seconds()), 10))
+	writeStat(bw, "curr_connections", strconv.FormatInt(m.connsOpen.Load(), 10))
+	writeStat(bw, "total_connections", strconv.FormatUint(m.connsTotal.Load(), 10))
+	writeStat(bw, "cmd_get", strconv.FormatUint(m.gets.Load(), 10))
+	writeStat(bw, "cmd_set", strconv.FormatUint(m.sets.Load(), 10))
+	writeStat(bw, "cmd_delete", strconv.FormatUint(m.deletes.Load(), 10))
+	writeStat(bw, "get_hits", strconv.FormatUint(m.getHits.Load(), 10))
+	writeStat(bw, "get_misses", strconv.FormatUint(m.getMisses.Load(), 10))
+	writeStat(bw, "curr_items", strconv.Itoa(s.cfg.Backend.Len()))
+	writeStat(bw, "bytes_read", strconv.FormatUint(m.bytesIn.Load(), 10))
+	writeStat(bw, "bytes_written", strconv.FormatUint(m.bytesOut.Load(), 10))
+	writeStat(bw, "protocol_errors", strconv.FormatUint(m.protoErrors.Load(), 10))
+	writeStat(bw, "slow_requests", strconv.FormatUint(m.slowRequests.Load(), 10))
+	if s.cfg.StatsExtra != nil {
+		extra := s.cfg.StatsExtra()
+		names := make([]string, 0, len(extra))
+		for name := range extra {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			writeStat(bw, name, extra[name])
+		}
+	}
+	bw.WriteString(respEnd) //nolint:errcheck
+}
+
+// readBody fills buf from the connection under the read timeout. One
+// deadline expiry is retried with a fresh deadline: a shutdown poke can race
+// the idle→busy transition and expire the deadline mid-body, and a request
+// whose header was accepted must not be dropped for it.
+func (s *Server) readBody(c *conn, br *bufio.Reader, buf []byte) error {
+	read, retried := 0, false
+	for read < len(buf) {
+		c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) //nolint:errcheck
+		n, err := io.ReadFull(br, buf[read:])
+		read += n
+		if err == nil {
+			return nil
+		}
+		if isTimeout(err) && !retried {
+			retried = true
+			continue
+		}
+		return err
+	}
+	return nil
+}
+
+// discardBody swallows an oversized declared body (plus its CRLF) without
+// buffering it, reporting whether the stream stayed in sync.
+func (s *Server) discardBody(c *conn, br *bufio.Reader, bw *bufio.Writer, n int64) bool {
+	c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) //nolint:errcheck
+	if _, err := io.CopyN(io.Discard, br, n); err != nil {
+		return false
+	}
+	var term [2]byte
+	if s.readBody(c, br, term[:]) != nil {
+		return false
+	}
+	if term[0] != '\r' || term[1] != '\n' {
+		s.m.protoErrors.Inc()
+		writeClientError(bw, "bad data chunk")
+		return false
+	}
+	return true
+}
+
+// expTTL converts a positive memcached exptime to a duration: values up to
+// 30 days are relative seconds, larger ones absolute unix times (≤0 result
+// means already expired). Relative TTLs land on the owning shard's simulated
+// clock; absolute ones are measured against the wall clock here.
+func expTTL(exptime int64) time.Duration {
+	if exptime <= relativeExpCutoff {
+		return time.Duration(exptime) * time.Second
+	}
+	return time.Until(time.Unix(exptime, 0))
+}
+
+// validKey applies memcached's key rules: 1..250 bytes, no whitespace or
+// control characters.
+func validKey(k string) bool {
+	if len(k) == 0 || len(k) > maxKeyLen {
+		return false
+	}
+	for i := 0; i < len(k); i++ {
+		if k[i] <= ' ' || k[i] == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// encodeValue prefixes the client's opaque flags (4 bytes big-endian) onto
+// the data so the cache backend stores a single byte slice per key.
+func encodeValue(flags uint32, data []byte) []byte {
+	v := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint32(v, flags)
+	copy(v[4:], data)
+	return v
+}
+
+// decodeValue splits a stored value back into flags and data. A value
+// shorter than the prefix (only possible when the backend was populated
+// outside the server) reads as flags 0.
+func decodeValue(v []byte) (uint32, []byte) {
+	if len(v) < 4 {
+		return 0, v
+	}
+	return binary.BigEndian.Uint32(v), v[4:]
+}
+
+// casOf derives the gets cas token from the value bytes (FNV-1a 64): equal
+// values compare equal, any modification changes the token. Content-derived
+// rather than generation-derived because the backend has no version counter.
+func casOf(data []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
+}
+
+func writeClientError(bw *bufio.Writer, msg string) {
+	bw.WriteString("CLIENT_ERROR " + msg + crlf) //nolint:errcheck
+}
+
+func writeServerError(bw *bufio.Writer, msg string) {
+	bw.WriteString("SERVER_ERROR " + msg + crlf) //nolint:errcheck
+}
+
+func writeStat(bw *bufio.Writer, name, value string) {
+	bw.WriteString("STAT " + name + " " + value + crlf) //nolint:errcheck
+}
+
+// writeUint renders u in decimal without fmt's reflection overhead — the
+// VALUE header is the hottest write in the server.
+func writeUint(bw *bufio.Writer, u uint64) {
+	var tmp [20]byte
+	bw.Write(strconv.AppendUint(tmp[:0], u, 10)) //nolint:errcheck
+}

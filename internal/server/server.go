@@ -1,0 +1,447 @@
+// Package server is the network serving layer: a memcached-text-protocol
+// front door over the thread-safe sharded cache, plus the pipelined client
+// and closed/open-loop load generator that drive it. It turns the simulated
+// persistent cache into something a real workload can talk to — the shape
+// CacheLib deployments have (a cache process serving get/set/delete over
+// TCP), so serving-path effects (connection handling, pipelining, response
+// batching, graceful shutdown) are measurable alongside the device-level
+// ones the paper studies.
+//
+// The protocol is the memcached text dialect: get/gets (multi-key), set
+// (with flags, exptime, and noreply), delete, stats, version, quit. Client
+// flags ride inside the stored value as a 4-byte big-endian prefix, so the
+// cache backend needs no schema beyond key→bytes. Expiration times follow
+// memcached's rule — values up to 30 days are relative seconds, larger
+// values are absolute unix times — with one simulation-honest twist:
+// relative TTLs are measured on the owning shard's simulated clock, the same
+// clock the cache's own TTL machinery uses.
+//
+// Concurrency model: one goroutine per connection over buffered readers and
+// writers. Responses are batched — the writer flushes only when the read
+// buffer is empty, so a pipelined batch of N requests costs one flush, not
+// N. A connection limit is enforced as accept backpressure (the semaphore is
+// taken before Accept, so excess connections queue in the kernel instead of
+// being churned through accept/close). Graceful shutdown stops accepting,
+// lets every in-flight request finish and flush, and only then returns, so
+// the process can snapshot the cache knowing no accepted work was dropped.
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"znscache/internal/obs"
+	"znscache/internal/stats"
+)
+
+// Backend is the store the server fronts. znscache.ShardedCache satisfies it
+// directly; tests substitute a map. Implementations must be safe for
+// concurrent use — the server calls them from one goroutine per connection.
+type Backend interface {
+	// Get returns the value for key and whether it was present.
+	Get(key string) ([]byte, bool, error)
+	// Set inserts or replaces key.
+	Set(key string, value []byte) error
+	// SetWithTTL inserts key with a time-to-live.
+	SetWithTTL(key string, value []byte, ttl time.Duration) error
+	// Delete removes key, reporting whether it was present.
+	Delete(key string) bool
+	// Len returns the number of cached items (served as curr_items).
+	Len() int
+}
+
+// Config parameterizes a Server. Zero values select the defaults noted on
+// each field.
+type Config struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// Backend serves the data. Required.
+	Backend Backend
+	// MaxConns caps concurrently served connections (default 1024). The cap
+	// is applied as accept backpressure: connection attempts beyond it wait
+	// in the kernel's accept queue rather than being refused.
+	MaxConns int
+	// MaxLineBytes bounds one command line (default 4096). A longer line is
+	// a protocol error that closes the offending connection.
+	MaxLineBytes int
+	// MaxValueBytes bounds one stored value (default 1 MiB, memcached's
+	// classic limit). An oversized set is swallowed and refused with
+	// SERVER_ERROR; the connection survives.
+	MaxValueBytes int
+	// IdleTimeout closes a connection with no in-flight request after this
+	// long (default 5 minutes).
+	IdleTimeout time.Duration
+	// ReadTimeout bounds each read while a request is in flight — a value
+	// body, or the rest of a partially received line (default 30s).
+	ReadTimeout time.Duration
+	// WriteTimeout bounds each response flush (default 30s).
+	WriteTimeout time.Duration
+	// StatsExtra, when set, contributes extra STAT lines (sorted by name)
+	// to the stats command — the cacheserver wires cache-level numbers
+	// (hit ratio, write amplification) through it.
+	StatsExtra func() map[string]string
+	// Tracer, when non-nil together with SlowThreshold, receives an
+	// EvSlowRequest event for every request slower than the threshold.
+	Tracer *obs.Tracer
+	// SlowThreshold is the latency above which a request is traced as slow
+	// (0 disables slow-request tracing).
+	SlowThreshold time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 1024
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 4096
+	}
+	if c.MaxValueBytes <= 0 {
+		c.MaxValueBytes = 1 << 20
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.ReadTimeout <= 0 {
+		c.ReadTimeout = 30 * time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+}
+
+// Connection states, used by the shutdown path to decide who to wake.
+const (
+	// connBusy: parsing or serving a request; shutdown leaves it alone.
+	connBusy int32 = iota
+	// connIdle: blocked waiting for a new command with nothing buffered;
+	// shutdown wakes it with an expired read deadline.
+	connIdle
+	// connGrace: draining, giving bytes that raced the wakeup one short
+	// final read before the close.
+	connGrace
+)
+
+// graceRead is how long a draining connection waits for request bytes that
+// raced the shutdown wakeup (written by the client before it could observe
+// the close). Loopback and LAN round trips are far below this.
+const graceRead = 20 * time.Millisecond
+
+// pokeInterval is how often the shutdown loop re-arms expired read deadlines
+// on idle connections (a connection can slip back to idle after a poke).
+const pokeInterval = 25 * time.Millisecond
+
+// conn is one served connection.
+type conn struct {
+	nc    net.Conn
+	state atomic.Int32
+	// partial accumulates a command line across read deadlines: a deadline
+	// can fire mid-line, and bufio consumes the fragment into the caller.
+	partial []byte
+}
+
+// Server is a memcached-protocol TCP server over a Backend.
+type Server struct {
+	cfg Config
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[*conn]struct{}
+
+	wg       sync.WaitGroup
+	sem      chan struct{}
+	draining atomic.Bool
+	stop     chan struct{} // closed by Shutdown to unblock the accept loop
+	start    time.Time
+
+	m metrics
+}
+
+// New validates cfg, binds the listener, and returns a server ready for
+// Serve. The listener is bound here so Addr is immediately meaningful.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("server: Config.Backend is required")
+	}
+	cfg.fillDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", cfg.Addr, err)
+	}
+	s := &Server{
+		cfg:   cfg,
+		ln:    ln,
+		conns: make(map[*conn]struct{}),
+		sem:   make(chan struct{}, cfg.MaxConns),
+		stop:  make(chan struct{}),
+		start: time.Now(),
+	}
+	s.m.init()
+	return s, nil
+}
+
+// Addr returns the bound listen address ("127.0.0.1:53412").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Serve accepts connections until Shutdown. It returns nil after a shutdown
+// and the accept error otherwise. Each connection is served by its own
+// goroutine; the connection-limit semaphore is acquired before Accept, so a
+// full server exerts backpressure instead of churning accepts.
+func (s *Server) Serve() error {
+	for {
+		select {
+		case s.sem <- struct{}{}:
+		case <-s.stop:
+			return nil
+		}
+		nc, err := s.ln.Accept()
+		if err != nil {
+			<-s.sem
+			if s.draining.Load() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		c := &conn{nc: nc}
+		s.mu.Lock()
+		if s.draining.Load() {
+			// Shutdown won the race: it already swept s.conns, so this
+			// connection would never be woken. Refuse it here.
+			s.mu.Unlock()
+			nc.Close() //nolint:errcheck
+			<-s.sem
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.m.connsTotal.Inc()
+		s.m.connsOpen.Add(1)
+		s.wg.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// Shutdown gracefully stops the server: no new connections are accepted,
+// idle connections are woken and closed, and in-flight requests run to
+// completion with their responses flushed. It returns nil once every
+// connection has drained. If ctx expires first, all remaining connections
+// are force-closed and ctx's error is returned; a request stuck inside the
+// backend at that point is abandoned mid-serve (its connection is severed).
+//
+// Shutdown is idempotent; concurrent calls all wait for the same drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.CompareAndSwap(false, true) {
+		close(s.stop)
+		s.ln.Close() //nolint:errcheck
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	past := time.Unix(1, 0) // any past time expires the read immediately
+	tick := time.NewTicker(pokeInterval)
+	defer tick.Stop()
+	for {
+		// Wake idle connections first so a fully idle server closes on the
+		// first pass rather than after one tick.
+		s.mu.Lock()
+		for c := range s.conns {
+			if c.state.Load() == connIdle {
+				c.nc.SetReadDeadline(past) //nolint:errcheck
+			}
+		}
+		s.mu.Unlock()
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			s.mu.Lock()
+			for c := range s.conns {
+				c.nc.Close() //nolint:errcheck
+			}
+			s.mu.Unlock()
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// serveConn runs one connection's request loop. It never panics the server:
+// a panic in request handling (a bug, not a client behavior) is recovered,
+// counted, and closes only this connection.
+func (s *Server) serveConn(c *conn) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.m.panics.Inc()
+		}
+		c.nc.Close() //nolint:errcheck
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		s.m.connsOpen.Add(-1)
+		<-s.sem
+		s.wg.Done()
+	}()
+
+	cc := &countConn{Conn: c.nc, in: &s.m.bytesIn, out: &s.m.bytesOut}
+	br := bufio.NewReaderSize(cc, s.cfg.MaxLineBytes)
+	bw := bufio.NewWriterSize(cc, 16<<10)
+
+	for {
+		if br.Buffered() == 0 && len(c.partial) == 0 {
+			// Batch boundary: everything pipelined so far is answered, so
+			// this is the one flush the whole batch pays.
+			if s.flush(c, bw) != nil {
+				return
+			}
+			if s.draining.Load() {
+				return
+			}
+			c.state.Store(connIdle)
+			c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) //nolint:errcheck
+		} else {
+			c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) //nolint:errcheck
+		}
+		line, err := c.readCommand(br)
+		c.state.Store(connBusy)
+		if err != nil {
+			switch {
+			case errors.Is(err, errLineTooLong):
+				s.m.protoErrors.Inc()
+				writeClientError(bw, "line too long")
+				s.flush(c, bw) //nolint:errcheck
+				return
+			case isTimeout(err):
+				if !s.draining.Load() {
+					return // idle or stalled-sender timeout
+				}
+				// Draining: the expired deadline is usually the shutdown
+				// wakeup, but request bytes may have raced it. Give them one
+				// short real read before closing.
+				c.state.Store(connGrace)
+				c.nc.SetReadDeadline(time.Now().Add(graceRead)) //nolint:errcheck
+				line, err = c.readCommand(br)
+				c.state.Store(connBusy)
+				if err != nil {
+					s.flush(c, bw) //nolint:errcheck
+					return
+				}
+			default:
+				return // EOF or transport error
+			}
+		}
+		started := time.Now()
+		quit, fatal := s.dispatch(c, br, bw, line)
+		lat := time.Since(started)
+		s.m.reqLatency.Observe(lat)
+		if s.cfg.SlowThreshold > 0 && lat >= s.cfg.SlowThreshold {
+			s.m.slowRequests.Inc()
+			s.cfg.Tracer.Emit(obs.Event{
+				T:      time.Since(s.start),
+				Type:   obs.EvSlowRequest,
+				Zone:   -1,
+				Region: -1,
+				Bytes:  int64(lat),
+			})
+		}
+		if quit || fatal {
+			s.flush(c, bw) //nolint:errcheck
+			return
+		}
+	}
+}
+
+// flush writes the buffered responses under the write deadline and counts
+// the flush (the pipelining tests assert batching through this counter).
+func (s *Server) flush(c *conn, bw *bufio.Writer) error {
+	if bw.Buffered() == 0 {
+		return nil
+	}
+	s.m.flushes.Inc()
+	c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
+	return bw.Flush()
+}
+
+// errLineTooLong marks a command line exceeding MaxLineBytes. The stream
+// cannot be resynced (the line's tail would parse as commands), so it is
+// fatal to the connection.
+var errLineTooLong = errors.New("server: command line too long")
+
+// readCommand reads one \n-terminated command line with the trailing
+// (\r)\n stripped. A read deadline can fire mid-line — bufio hands the
+// fragment to the caller — so fragments accumulate in c.partial across
+// calls and the command is lost only if the connection actually dies.
+func (c *conn) readCommand(br *bufio.Reader) ([]byte, error) {
+	for {
+		frag, err := br.ReadSlice('\n')
+		if err == nil {
+			if len(c.partial) == 0 {
+				return trimEOL(frag), nil
+			}
+			line := append(c.partial, frag...)
+			c.partial = nil
+			return trimEOL(line), nil
+		}
+		if len(frag) > 0 {
+			c.partial = append(c.partial, frag...)
+		}
+		if errors.Is(err, bufio.ErrBufferFull) {
+			// The buffer is sized to MaxLineBytes, so a full buffer without
+			// a delimiter is a too-long line by construction.
+			return nil, errLineTooLong
+		}
+		if len(c.partial) >= br.Size() {
+			return nil, errLineTooLong
+		}
+		return nil, err
+	}
+}
+
+// trimEOL strips a trailing \n and optional \r.
+func trimEOL(line []byte) []byte {
+	n := len(line)
+	if n > 0 && line[n-1] == '\n' {
+		n--
+	}
+	if n > 0 && line[n-1] == '\r' {
+		n--
+	}
+	return line[:n]
+}
+
+// isTimeout reports whether err is a read/write deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// countConn counts raw socket bytes in each direction for the byte metrics.
+type countConn struct {
+	net.Conn
+	in, out *stats.Counter
+}
+
+func (c *countConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		c.in.Add(uint64(n))
+	}
+	return n, err
+}
+
+func (c *countConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	if n > 0 {
+		c.out.Add(uint64(n))
+	}
+	return n, err
+}

@@ -38,8 +38,14 @@ func (t *Trace) Err() error { return t.err }
 func (t *Trace) Line() int { return t.line }
 
 // Next returns the next operation; ok is false at end of stream or on the
-// first error (check Err).
+// first error (check Err). After an error the trace is dead: every further
+// Next returns false with the same error — without this, a scanner that hit
+// ErrTooLong would keep serving its truncated buffer as a token, and the
+// replay would parse garbage ops past the point of failure.
 func (t *Trace) Next() (op Op, ok bool) {
+	if t.err != nil {
+		return Op{}, false
+	}
 	for t.sc.Scan() {
 		t.line++
 		text := strings.TrimSpace(t.sc.Text())
@@ -55,7 +61,11 @@ func (t *Trace) Next() (op Op, ok bool) {
 		return parsed, true
 	}
 	if err := t.sc.Err(); err != nil && t.err == nil {
-		t.err = err
+		// The scanner failed reading the line after the last one consumed
+		// (e.g. bufio.ErrTooLong on a line beyond the 1 MiB token limit).
+		// Stamp that line number so a bad record in a multi-gigabyte trace
+		// is findable.
+		t.err = fmt.Errorf("trace line %d: %w", t.line+1, err)
 	}
 	return Op{}, false
 }

@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"bufio"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -56,6 +58,68 @@ func TestTraceRejectsMalformed(t *testing.T) {
 		}
 		if tr.Err() == nil {
 			t.Errorf("malformed line %q produced no error", in)
+		}
+	}
+}
+
+// TestTraceOversizedLineCarriesLineNumber feeds a line beyond the scanner's
+// 1 MiB token limit and asserts the error both names the failing line and
+// unwraps to bufio.ErrTooLong.
+func TestTraceOversizedLineCarriesLineNumber(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("get ok:1\n")
+	b.WriteString("set ok:2 64\n")
+	b.WriteString("set giant:")
+	b.WriteString(strings.Repeat("k", (1<<20)+64)) // over the 1 MiB buffer
+	b.WriteString(" 64\n")
+	b.WriteString("get never-reached\n")
+
+	tr := NewTrace(strings.NewReader(b.String()))
+	for i := 0; i < 2; i++ {
+		if _, ok := tr.Next(); !ok {
+			t.Fatalf("good op %d: unexpected end (err=%v)", i, tr.Err())
+		}
+	}
+	if _, ok := tr.Next(); ok {
+		t.Fatal("oversized line parsed")
+	}
+	err := tr.Err()
+	if err == nil {
+		t.Fatal("oversized line produced no error")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("Err = %v, want wrapped bufio.ErrTooLong", err)
+	}
+	if !strings.Contains(err.Error(), "trace line 3") {
+		t.Fatalf("Err = %q, want the failing line number (3)", err)
+	}
+	// The error is sticky: further Next calls keep failing with it.
+	if _, ok := tr.Next(); ok {
+		t.Fatal("Next succeeded after a scanner error")
+	}
+	if tr.Err() != err {
+		t.Fatalf("Err changed after the failure: %v", tr.Err())
+	}
+}
+
+// TestTraceMalformedSetLengthCarriesLineNumber asserts parse errors name the
+// exact line, for each malformed length spelling.
+func TestTraceMalformedSetLengthCarriesLineNumber(t *testing.T) {
+	for _, bad := range []string{"set k notanumber", "set k -5", "set k 12x", "set k"} {
+		in := "get warm:1\n# comment\n" + bad + "\n"
+		tr := NewTrace(strings.NewReader(in))
+		if _, ok := tr.Next(); !ok {
+			t.Fatalf("%q: good first op rejected (err=%v)", bad, tr.Err())
+		}
+		if _, ok := tr.Next(); ok {
+			t.Fatalf("%q: malformed set parsed", bad)
+		}
+		err := tr.Err()
+		if err == nil {
+			t.Fatalf("%q: no error", bad)
+		}
+		if !strings.Contains(err.Error(), "trace line 3") {
+			t.Fatalf("%q: Err = %q, want the failing line number (3)", bad, err)
 		}
 	}
 }

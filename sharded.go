@@ -2,6 +2,7 @@ package znscache
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"znscache/internal/cache"
@@ -27,9 +28,16 @@ type ShardedConfig struct {
 // by hash, so a key always lands on the same shard; per-shard determinism is
 // preserved (see cache.Sharded).
 type ShardedCache struct {
-	sh     *cache.Sharded
-	rigs   []*harness.Rig
-	closed bool
+	sh   *cache.Sharded
+	rigs []*harness.Rig
+	// cfg is retained so Reopen can rebuild per-shard engines with the same
+	// policy, value tracking, and admission seeds.
+	cfg ShardedConfig
+	// snaps holds the per-shard recovery snapshots captured by Close.
+	snaps [][]byte
+	// closed is atomic because the network serving layer checks it from
+	// many connection goroutines while Close runs on the shutdown path.
+	closed atomic.Bool
 }
 
 // OpenSharded builds a sharded cache per cfg.
@@ -55,7 +63,7 @@ func OpenSharded(cfg ShardedConfig) (*ShardedCache, error) {
 		shardCfg.CacheBytes = cfg.CacheBytes / int64(cfg.Shards)
 	}
 
-	c := &ShardedCache{rigs: make([]*harness.Rig, cfg.Shards)}
+	c := &ShardedCache{rigs: make([]*harness.Rig, cfg.Shards), cfg: cfg}
 	engines := make([]*cache.Cache, cfg.Shards)
 	for i := range engines {
 		// Each shard's admission policy instance is built by the shared
@@ -91,7 +99,7 @@ func (c *ShardedCache) Rig(i int) *harness.Rig { return c.rigs[i] }
 
 // Set inserts or replaces key with value.
 func (c *ShardedCache) Set(key string, value []byte) error {
-	if c.closed {
+	if c.closed.Load() {
 		return ErrClosed
 	}
 	return c.sh.Set(key, value, 0)
@@ -99,7 +107,7 @@ func (c *ShardedCache) Set(key string, value []byte) error {
 
 // SetSized inserts or replaces key with a metadata-only value of n bytes.
 func (c *ShardedCache) SetSized(key string, n int) error {
-	if c.closed {
+	if c.closed.Load() {
 		return ErrClosed
 	}
 	return c.sh.Set(key, nil, n)
@@ -108,7 +116,7 @@ func (c *ShardedCache) SetSized(key string, n int) error {
 // SetWithTTL inserts key with a time-to-live measured on the owning shard's
 // simulated clock.
 func (c *ShardedCache) SetWithTTL(key string, value []byte, ttl time.Duration) error {
-	if c.closed {
+	if c.closed.Load() {
 		return ErrClosed
 	}
 	return c.sh.SetTTL(key, value, 0, ttl)
@@ -117,7 +125,7 @@ func (c *ShardedCache) SetWithTTL(key string, value []byte, ttl time.Duration) e
 // Get returns the value for key. With TrackValues off, the returned slice
 // is nil even on a hit.
 func (c *ShardedCache) Get(key string) ([]byte, bool, error) {
-	if c.closed {
+	if c.closed.Load() {
 		return nil, false, ErrClosed
 	}
 	return c.sh.Get(key)
@@ -126,7 +134,7 @@ func (c *ShardedCache) Get(key string) ([]byte, bool, error) {
 // Contains reports whether key is cached (TTL-expired items count as
 // absent), without recency side effects.
 func (c *ShardedCache) Contains(key string) bool {
-	if c.closed {
+	if c.closed.Load() {
 		return false
 	}
 	return c.sh.Contains(key)
@@ -134,7 +142,7 @@ func (c *ShardedCache) Contains(key string) bool {
 
 // Delete removes key; it reports whether the key was present.
 func (c *ShardedCache) Delete(key string) bool {
-	if c.closed {
+	if c.closed.Load() {
 		return false
 	}
 	return c.sh.Delete(key)
@@ -193,8 +201,75 @@ func (c *ShardedCache) SimulatedTime() time.Duration {
 	return max
 }
 
-// Close marks the cache closed.
+// Close drains every shard, captures one recovery snapshot per shard, and
+// marks the cache closed. This is the persistent-cache shutdown contract
+// (CacheLib serializes its index and region metadata at shutdown): the
+// snapshots describe everything needed to re-attach to the still-populated
+// simulated devices, and Reopen performs that warm roll. Stop traffic before
+// calling Close — operations racing it can land after their shard's cut and
+// be forgotten by the successor (they are not corrupted, merely lost, the
+// same asymmetry the crash harness verifies).
+//
+// Close is idempotent; only the first call snapshots.
 func (c *ShardedCache) Close() error {
-	c.closed = true
+	if !c.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	snaps, err := c.sh.Snapshot()
+	if err != nil {
+		return fmt.Errorf("znscache: close snapshot: %w", err)
+	}
+	c.snaps = snaps
 	return nil
+}
+
+// Snapshots returns the per-shard recovery snapshots Close captured (nil
+// before Close). The slices are the cache's own; treat them as read-only.
+func (c *ShardedCache) Snapshots() [][]byte { return c.snaps }
+
+// Reopen warm-rolls a closed cache: every shard engine is rebuilt from the
+// snapshot Close captured, over the same simulated device stacks, whose
+// regions still hold the data — the restart a persistent cache exists to
+// survive. The returned cache serves the snapshot's contents (open-region
+// buffers are DRAM and are dropped, as on a real restart); the receiver
+// stays closed and should be discarded.
+func (c *ShardedCache) Reopen() (*ShardedCache, error) {
+	if !c.closed.Load() {
+		return nil, fmt.Errorf("znscache: Reopen needs a closed cache (call Close first)")
+	}
+	if c.snaps == nil {
+		return nil, fmt.Errorf("znscache: no snapshots to reopen from (Close failed?)")
+	}
+	nc := &ShardedCache{rigs: c.rigs, cfg: c.cfg}
+	engines := make([]*cache.Cache, len(c.rigs))
+	for i, rig := range c.rigs {
+		cc := cache.Config{
+			Store:        rig.Store,
+			Clock:        rig.Clock,
+			TrackValues:  c.cfg.TrackValues,
+			ReinsertHits: c.cfg.ReinsertHits,
+		}
+		// Mirror harness.Build's policy defaulting: the Navy-faithful FIFO
+		// unless the configuration explicitly chose one.
+		cc.Policy = cache.FIFO
+		if c.cfg.PolicySet {
+			cc.Policy = c.cfg.Policy
+		}
+		if c.cfg.Admission != nil {
+			cc.AdmissionFactory = c.cfg.Admission
+			cc.AdmissionSeed = cache.ShardSeed(c.cfg.AdmissionSeed, i)
+		}
+		eng, err := cache.Restore(cc, c.snaps[i])
+		if err != nil {
+			return nil, fmt.Errorf("znscache: shard %d reopen: %w", i, err)
+		}
+		rig.Engine = eng
+		engines[i] = eng
+	}
+	sh, err := cache.NewSharded(engines)
+	if err != nil {
+		return nil, err
+	}
+	nc.sh = sh
+	return nc, nil
 }

@@ -86,6 +86,184 @@ func TestOpenShardedTTLThroughFacade(t *testing.T) {
 	}
 }
 
+// TestShardedDeleteContains pins the facade-level semantics of Delete and
+// Contains on the sharded cache: present, absent, re-set, and deleted keys,
+// with keys spread over every shard so the per-shard routing is exercised,
+// not just one engine.
+func TestShardedDeleteContains(t *testing.T) {
+	c, err := OpenSharded(ShardedConfig{
+		Config: Config{Zones: 16, TrackValues: true},
+		Shards: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+
+	// Pick one key per shard so every engine sees each path.
+	keys := make([]string, c.NumShards())
+	filled := 0
+	for i := 0; filled < len(keys); i++ {
+		k := fmt.Sprintf("dc:%04d", i)
+		if keys[c.ShardFor(k)] == "" {
+			keys[c.ShardFor(k)] = k
+			filled++
+		}
+	}
+	for _, k := range keys {
+		if c.Contains(k) {
+			t.Fatalf("Contains(%q) true before Set", k)
+		}
+		if c.Delete(k) {
+			t.Fatalf("Delete(%q) true before Set", k)
+		}
+		if err := c.Set(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+		if !c.Contains(k) {
+			t.Fatalf("Contains(%q) false after Set", k)
+		}
+		if !c.Delete(k) {
+			t.Fatalf("Delete(%q) false for a present key", k)
+		}
+		if c.Contains(k) {
+			t.Fatalf("Contains(%q) true after Delete", k)
+		}
+		if c.Delete(k) {
+			t.Fatalf("second Delete(%q) returned true", k)
+		}
+		// A re-set key is fully alive again.
+		if err := c.Set(k, []byte("again")); err != nil {
+			t.Fatal(err)
+		}
+		if !c.Contains(k) {
+			t.Fatalf("Contains(%q) false after re-Set", k)
+		}
+	}
+	if st := c.Stats(); st.Deletes == 0 {
+		t.Fatal("merged stats recorded no deletes")
+	}
+}
+
+// TestShardedContainsTTLExpiry covers the TTL paths of Contains and Delete
+// through the sharded facade, advancing only the owning shard's simulated
+// clock: expiry is a per-shard-clock fact, and the other shards' items must
+// be unaffected.
+func TestShardedContainsTTLExpiry(t *testing.T) {
+	c, err := OpenSharded(ShardedConfig{Config: Config{Zones: 16}, Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close() //nolint:errcheck
+
+	const victim = "ttl:victim"
+	const bystander = "ttl:bystander-on-another-shard"
+	if c.ShardFor(victim) == c.ShardFor(bystander) {
+		t.Fatalf("test keys landed on the same shard %d; pick different keys", c.ShardFor(victim))
+	}
+	if err := c.SetWithTTL(victim, nil, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetWithTTL(bystander, nil, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Contains(victim) || !c.Contains(bystander) {
+		t.Fatal("items absent before TTL")
+	}
+
+	// Advance only the victim's shard clock past the TTL.
+	c.Rig(c.ShardFor(victim)).Clock.Advance(5 * time.Second)
+	if c.Contains(victim) {
+		t.Fatal("Contains sees a TTL-expired item")
+	}
+	if !c.Contains(bystander) {
+		t.Fatal("expiry on one shard clock leaked into another shard")
+	}
+	// Contains lazily removed the expired entry, so Delete now misses.
+	if c.Delete(victim) {
+		t.Fatal("Delete found a key Contains already expired")
+	}
+	st := c.Stats()
+	if want := c.Len(); want != 1 {
+		t.Fatalf("Len = %d after expiry, want 1", want)
+	}
+	_ = st
+}
+
+// TestShardedCloseReopen is the warm-roll contract: Close snapshots every
+// shard, Reopen rebuilds the engines over the same simulated devices, and
+// the reopened cache serves the pre-shutdown contents.
+func TestShardedCloseReopen(t *testing.T) {
+	c, err := OpenSharded(ShardedConfig{
+		Config: Config{Zones: 8, TrackValues: true},
+		Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 64
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("persist:%03d", i)
+		if err := c.Set(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.Drain()
+	before := c.Len()
+
+	if _, err := c.Reopen(); err == nil {
+		t.Fatal("Reopen succeeded on an open cache")
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if got := len(c.Snapshots()); got != 2 {
+		t.Fatalf("Snapshots count = %d, want 2", got)
+	}
+	if err := c.Set("late", []byte("x")); err != ErrClosed {
+		t.Fatalf("Set after Close = %v, want ErrClosed", err)
+	}
+
+	r, err := c.Reopen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Len(); got != before {
+		t.Fatalf("reopened Len = %d, want %d", got, before)
+	}
+	hits := 0
+	for i := 0; i < keys; i++ {
+		k := fmt.Sprintf("persist:%03d", i)
+		v, ok, err := r.Get(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			hits++
+			if string(v) != k {
+				t.Fatalf("reopened Get(%q) = %q", k, v)
+			}
+		}
+	}
+	// Sealed regions survive; only the open region's DRAM buffer may drop.
+	if hits < keys/2 {
+		t.Fatalf("only %d/%d keys survived the warm roll", hits, keys)
+	}
+	// The reopened cache keeps serving writes.
+	if err := r.Set("after-roll", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := r.Get("after-roll"); !ok {
+		t.Fatal("reopened cache dropped a fresh write")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // replayFacade drives a seeded mixed workload with one goroutine per shard,
 // each applying only its shard's slice of the stream.
 func replayFacade(t *testing.T, c *ShardedCache, seed uint64, ops int) Stats {
