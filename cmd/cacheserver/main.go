@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime/debug"
 	"syscall"
 	"time"
 
@@ -42,11 +43,23 @@ func main() {
 		eventsFile  = flag.String("events", "", "record slow-request events and write them as JSON to this file on exit")
 		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "event ring capacity for -events (newest kept)")
 		slowMs      = flag.Int("slow-ms", 50, "slow-request threshold in milliseconds for -events")
+		fastReads   = flag.Bool("fast-reads", true, "serve gets from the lock-free read index")
+		lockProf    = flag.Int("lock-profile", 0, "runtime mutex/block profiling rate for -metrics-addr pprof (0 disables)")
+		gogc        = flag.Int("gogc", 400, "GC target percentage (SetGCPercent); 0 leaves the runtime default")
 	)
 	flag.Parse()
 
+	if *gogc > 0 {
+		// A cache server's live heap is dominated by its fixed-size region
+		// buffers and index, so a high GC target trades bounded memory
+		// headroom for materially fewer collection cycles on the hot path.
+		debug.SetGCPercent(*gogc)
+	}
+	if *lockProf > 0 {
+		obs.SetLockProfiling(*lockProf)
+	}
 	if err := run(*addr, *scheme, *shards, *zones, *cacheMiB, *admission, *admitBudget,
-		*maxConns, *maxValue, *idle, *drain, *metricsAddr, *eventsFile, *traceCap, *slowMs); err != nil {
+		*maxConns, *maxValue, *idle, *drain, *metricsAddr, *eventsFile, *traceCap, *slowMs, *fastReads); err != nil {
 		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
 		os.Exit(1)
 	}
@@ -54,7 +67,7 @@ func main() {
 
 func run(addr, schemeName string, shards, zones int, cacheMiB int64, admission string,
 	admitBudget float64, maxConns, maxValue int, idle, drain time.Duration,
-	metricsAddr, eventsFile string, traceCap, slowMs int) error {
+	metricsAddr, eventsFile string, traceCap, slowMs int, fastReads bool) error {
 	schemes := map[string]harness.Scheme{
 		"block": znscache.BlockCache, "file": znscache.FileCache,
 		"zone": znscache.ZoneCache, "region": znscache.RegionCache,
@@ -68,7 +81,8 @@ func run(addr, schemeName string, shards, zones int, cacheMiB int64, admission s
 			Scheme:      s,
 			Zones:       zones,
 			CacheBytes:  cacheMiB << 20,
-			TrackValues: true, // the server returns real payloads
+			TrackValues: true,      // the server returns real payloads
+			FastReads:   fastReads, // lock-free get path for the serving layer
 		},
 		Shards: shards,
 	}
@@ -114,6 +128,7 @@ func run(addr, schemeName string, shards, zones int, cacheMiB int64, admission s
 
 	reg := obs.NewRegistry()
 	srv.MetricsInto(reg, obs.L("job", "cacheserver"))
+	obs.LockMetricsInto(reg, obs.L("job", "cacheserver"))
 	if metricsAddr != "" {
 		ms, err := obs.StartServer(metricsAddr, reg)
 		if err != nil {

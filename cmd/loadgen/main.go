@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 	"strconv"
 	"strings"
 	"time"
@@ -39,11 +40,20 @@ func main() {
 		delPct   = flag.Int("del-pct", 0, "delete share of the mix in percent")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		fill     = flag.Bool("fill", true, "set the key after a get miss (read-through fill)")
+		multiget = flag.Int("multiget", 0, "group up to N consecutive gets into one multi-key get (<=1 disables)")
 		sizes    = flag.String("value-sizes", "", "comma-separated object sizes in bytes (default 512,1024,4096,8192,16384)")
 		weights  = flag.String("value-weights", "", "comma-separated weights matching -value-sizes")
 		jsonDir  = flag.String("json", "", "write a BENCH_serve.json report into this directory")
+		gogc     = flag.Int("gogc", 400, "GC target percentage (SetGCPercent); 0 leaves the runtime default")
 	)
 	flag.Parse()
+
+	if *gogc > 0 {
+		// The generator's steady-state allocation rate is low (interned
+		// keys, reused buffers); a high GC target keeps collection cycles
+		// from perturbing the latency measurement.
+		debug.SetGCPercent(*gogc)
+	}
 
 	valueSizes, err := parseInts(*sizes)
 	if err != nil {
@@ -72,6 +82,7 @@ func main() {
 		ValueWeights: valueWeights,
 		Seed:         *seed,
 		FillOnMiss:   *fill,
+		Multiget:     *multiget,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -89,6 +100,15 @@ func main() {
 	l := res.Latency
 	fmt.Printf("latency p50=%v p90=%v p99=%v p999=%v mean=%v max=%v\n",
 		l.P50, l.P90, l.P99, l.P999, l.Mean, l.Max)
+	if res.Multiget > 1 && len(res.GetBatchSizes) > 0 {
+		fmt.Printf("get batch sizes (multiget=%d):", res.Multiget)
+		for n := 1; n <= res.Multiget; n++ {
+			if c, ok := res.GetBatchSizes[n]; ok {
+				fmt.Printf(" %d×%d", n, c)
+			}
+		}
+		fmt.Println()
+	}
 
 	if *jsonDir != "" {
 		rep := harness.NewServeReport([]harness.ServeRowJSON{toRow(res)})
@@ -123,26 +143,28 @@ func parseInts(s string) ([]int, error) {
 // toRow converts a load result to the report wire form.
 func toRow(r *server.LoadResult) harness.ServeRowJSON {
 	return harness.ServeRowJSON{
-		Mode:        r.Mode,
-		Conns:       r.Conns,
-		Pipeline:    r.Pipeline,
-		TargetQPS:   r.TargetQPS,
-		AchievedQPS: r.AchievedQPS,
-		Ops:         r.Ops,
-		Gets:        r.Gets,
-		Sets:        r.Sets,
-		Deletes:     r.Deletes,
-		Hits:        r.Hits,
-		Misses:      r.Misses,
-		Fills:       r.Fills,
-		Errors:      r.Errors,
-		HitRatio:    r.HitRatio(),
-		ElapsedNs:   r.Elapsed.Nanoseconds(),
-		P50Ns:       r.Latency.P50.Nanoseconds(),
-		P90Ns:       r.Latency.P90.Nanoseconds(),
-		P99Ns:       r.Latency.P99.Nanoseconds(),
-		P999Ns:      r.Latency.P999.Nanoseconds(),
-		MeanNs:      r.Latency.Mean.Nanoseconds(),
-		MaxNs:       r.Latency.Max.Nanoseconds(),
+		Mode:          r.Mode,
+		Conns:         r.Conns,
+		Pipeline:      r.Pipeline,
+		TargetQPS:     r.TargetQPS,
+		AchievedQPS:   r.AchievedQPS,
+		Ops:           r.Ops,
+		Gets:          r.Gets,
+		Sets:          r.Sets,
+		Deletes:       r.Deletes,
+		Hits:          r.Hits,
+		Misses:        r.Misses,
+		Fills:         r.Fills,
+		Errors:        r.Errors,
+		HitRatio:      r.HitRatio(),
+		ElapsedNs:     r.Elapsed.Nanoseconds(),
+		P50Ns:         r.Latency.P50.Nanoseconds(),
+		P90Ns:         r.Latency.P90.Nanoseconds(),
+		P99Ns:         r.Latency.P99.Nanoseconds(),
+		P999Ns:        r.Latency.P999.Nanoseconds(),
+		MeanNs:        r.Latency.Mean.Nanoseconds(),
+		MaxNs:         r.Latency.Max.Nanoseconds(),
+		Multiget:      r.Multiget,
+		GetBatchSizes: r.GetBatchSizes,
 	}
 }

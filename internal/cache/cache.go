@@ -25,7 +25,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/fnv"
 	"sync"
 	"time"
 
@@ -175,6 +174,12 @@ type Config struct {
 	// checksum is what stands between corrupt recovery metadata and wrong
 	// data being served.
 	SkipChecksum bool
+	// ReadIndex enables the lock-free read path (readindex.go): mutators
+	// additionally publish an immutable copy-on-write view of each key into
+	// a concurrent read index, and TryFastGet/TryFastContains answer lookups
+	// against it without the shard lock. Off by default — single-threaded
+	// replays keep the exact classic accounting; the serving layer opts in.
+	ReadIndex bool
 }
 
 // defaultFillLogCap bounds the fill log unless Config.FillLogCap overrides
@@ -302,6 +307,11 @@ type Cache struct {
 
 	trace *obs.Tracer // nil when tracing is disabled
 
+	// reads is the lock-free read index (nil unless Config.ReadIndex). All
+	// mutation of it happens on the engine's single-threaded side; see
+	// readindex.go for the concurrency contract.
+	reads *readIndex
+
 	// metrics
 	hitRatio    stats.HitRatio
 	getLat      *stats.Histogram
@@ -388,6 +398,9 @@ func New(cfg Config) (*Cache, error) {
 		firstEvictSeq: noEvictSeq,
 		trace:         cfg.Trace,
 	}
+	if cfg.ReadIndex {
+		c.reads = newReadIndex()
+	}
 	// One buffer is always the one being filled; only the remainder can
 	// hold in-flight flushes. A single zone-sized buffer therefore flushes
 	// synchronously — the Zone-Cache DRAM-budget penalty of §3.2.
@@ -442,6 +455,24 @@ func (c *Cache) Set(key string, value []byte, valLen int) error {
 // item expires ttl after insertion (0 = never). Expired items answer Get
 // as misses and are lazily removed from the index.
 func (c *Cache) SetTTL(key string, value []byte, valLen int, ttl time.Duration) error {
+	return c.setInternal(key, value, valLen, ttl, false)
+}
+
+// SetOwned is Set for callers that relinquish value: the engine may retain
+// the slice (it becomes the read index's published copy) instead of copying
+// it. The caller must not read or write value after the call. The serving
+// layer uses this — it allocates a fresh body per set and never touches it
+// again, so the publish copy would be pure waste.
+func (c *Cache) SetOwned(key string, value []byte, valLen int) error {
+	return c.setInternal(key, value, valLen, 0, true)
+}
+
+// SetTTLOwned is SetTTL with the SetOwned ownership transfer.
+func (c *Cache) SetTTLOwned(key string, value []byte, valLen int, ttl time.Duration) error {
+	return c.setInternal(key, value, valLen, ttl, true)
+}
+
+func (c *Cache) setInternal(key string, value []byte, valLen int, ttl time.Duration, owned bool) error {
 	if key == "" {
 		return ErrEmptyKey
 	}
@@ -472,11 +503,14 @@ func (c *Cache) SetTTL(key string, value []byte, valLen int, ttl time.Duration) 
 			return err
 		}
 	}
-	c.appendItem(key, value, valLen)
+	c.appendItem(key, value, valLen, owned)
 	if ttl > 0 {
 		e := c.index[key]
 		e.expireAt = uint32(((c.clock.Now() + ttl) / time.Second) + 1)
 		c.index[key] = e
+		if c.reads != nil {
+			c.reads.setExpire(key, e.expireAt)
+		}
 	}
 	c.hostBytes.Add(uint64(size))
 	c.setLat.Observe(c.clock.Now() - start)
@@ -487,7 +521,10 @@ func (c *Cache) SetTTL(key string, value []byte, valLen int, ttl time.Duration) 
 // and indexes it. With TrackValues, the on-flash layout is
 // [header: keyLen|valLen|flags|checksum][key][value]; the checksum guards
 // read-back integrity across region stores, migrations, and recovery.
-func (c *Cache) appendItem(key string, value []byte, valLen int) {
+// owned means the caller relinquished value: the read index may publish
+// the slice directly instead of copying it (entries are immutable once
+// published, so this is safe whenever the caller never touches value again).
+func (c *Cache) appendItem(key string, value []byte, valLen int, owned bool) {
 	m := &c.regions[c.open]
 	// Replacing an existing key: the old copy becomes dead weight in its
 	// region (reclaimed only when that region is evicted).
@@ -516,14 +553,39 @@ func (c *Cache) appendItem(key string, value []byte, valLen int) {
 		keyLen: uint16(len(key)),
 		valLen: uint32(valLen),
 	}
+	if c.reads != nil {
+		var rv []byte
+		if c.cfg.TrackValues && value != nil {
+			if owned {
+				rv = value[:valLen:valLen]
+			} else {
+				rv = append([]byte(nil), value[:valLen]...)
+			}
+		}
+		c.reads.publish(key, rv, 0)
+	}
 }
 
-// itemChecksum hashes key and value for the on-flash header.
+// itemChecksum hashes key and value for the on-flash header: FNV-1a over
+// key then value, inlined (no hash.Hash allocation, no []byte(key) copy)
+// because it runs on every tracked set. The digest is identical to
+// fnv.New64a over the same bytes, so snapshots written before this was
+// inlined still verify.
 func itemChecksum(key string, value []byte) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	h.Write(value)
-	return h.Sum64()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	for _, b := range value {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	return h
 }
 
 // retryStore runs one store operation with bounded retries: up to
@@ -564,6 +626,9 @@ func (c *Cache) dropRegionKeys(id int) {
 	m.keys.each(func(kb []byte) bool {
 		if e, ok := c.index[string(kb)]; ok && int(e.region) == id {
 			delete(c.index, string(kb))
+			if c.reads != nil {
+				c.reads.unpublish(string(kb))
+			}
 			c.lostKeys.Inc()
 			if wantDropped {
 				dropped = append(dropped, string(kb))
@@ -599,6 +664,9 @@ func (c *Cache) quarantineSealed(id int) {
 // quarantining the region once it exhausts its budget.
 func (c *Cache) loseKey(key string, e entry) {
 	delete(c.index, key)
+	if c.reads != nil {
+		c.reads.unpublish(key)
+	}
 	id := int(e.region)
 	m := &c.regions[id]
 	if m.live > 0 {
@@ -699,12 +767,20 @@ func (c *Cache) rollRegion() error {
 	c.regions[next].openedAt = rollStart
 	// Reinsertion (Navy's hits-based policy): hot items from the evicted
 	// region are rewritten into the fresh buffer, capped at its capacity.
-	for _, it := range reinsert {
+	for i, it := range reinsert {
 		size := itemHeaderSize + int64(len(it.key)) + int64(it.valLen)
 		if c.regions[next].fill+size > c.store.RegionSize() {
+			// The remainder is dropped after all: withdraw the read-index
+			// entries kept alive for the reinsert window.
+			if c.reads != nil {
+				for _, rest := range reinsert[i:] {
+					c.reads.unpublish(rest.key)
+				}
+			}
 			break
 		}
-		c.appendItem(it.key, it.value, it.valLen)
+		// it.value is the private copy made during eviction — owned.
+		c.appendItem(it.key, it.value, it.valLen, true)
 		c.reinserts.Inc()
 	}
 	return nil
@@ -801,6 +877,9 @@ func (c *Cache) evictOnce() (int, []reinsertItem, error) {
 		}
 		delete(c.index, string(kb))
 		if c.cfg.ReinsertHits > 0 && e.hits >= c.cfg.ReinsertHits {
+			// Reinsert candidates stay published: appendItem re-publishes
+			// them moments later, and a fast reader in the window between
+			// sees at worst the old (identical) bytes.
 			it := reinsertItem{key: string(kb), valLen: int(e.valLen)}
 			if regionBytes != nil {
 				base := int64(e.offset) + itemHeaderSize + int64(e.keyLen)
@@ -809,8 +888,13 @@ func (c *Cache) evictOnce() (int, []reinsertItem, error) {
 				}
 			}
 			reinsert = append(reinsert, it)
-		} else if wantDropped {
-			dropped = append(dropped, string(kb))
+		} else {
+			if c.reads != nil {
+				c.reads.unpublish(string(kb))
+			}
+			if wantDropped {
+				dropped = append(dropped, string(kb))
+			}
 		}
 		return true
 	})
@@ -824,7 +908,14 @@ func (c *Cache) evictOnce() (int, []reinsertItem, error) {
 		return c.store.EvictRegion(t, id)
 	})
 	if err != nil {
-		// Index is already clean; hand the id back for quarantine.
+		// Index is already clean; hand the id back for quarantine. The
+		// reinsert candidates kept published for the reinsert window are
+		// dropped with it.
+		if c.reads != nil {
+			for _, it := range reinsert {
+				c.reads.unpublish(it.key)
+			}
+		}
 		return id, nil, fmt.Errorf("cache: evict region %d: %w", id, err)
 	}
 	c.clock.Advance(lat)
@@ -870,6 +961,9 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 		// Lazy expiry: drop the index entry; the flash copy dies with its
 		// region.
 		delete(c.index, key)
+		if c.reads != nil {
+			c.reads.unpublish(key)
+		}
 		if m := &c.regions[e.region]; m.live > 0 {
 			m.live--
 		}
@@ -940,6 +1034,9 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 				c.getLat.Observe(c.clock.Now() - start)
 				return nil, false, nil
 			}
+			// Promote the verified bytes into the read index so later Gets
+			// for this (restored or metadata-published) key go lock-free.
+			c.promoteRead(key, e, val)
 		}
 	default:
 		// Entry pointing into a free region would be an index invariant
@@ -996,6 +1093,9 @@ func (c *Cache) Contains(key string) bool {
 	}
 	if e.expireAt != 0 && c.clock.Now() >= time.Duration(e.expireAt)*time.Second {
 		delete(c.index, key)
+		if c.reads != nil {
+			c.reads.unpublish(key)
+		}
 		if m := &c.regions[e.region]; m.live > 0 {
 			m.live--
 		}
@@ -1015,6 +1115,9 @@ func (c *Cache) Delete(key string) bool {
 		return false
 	}
 	delete(c.index, key)
+	if c.reads != nil {
+		c.reads.unpublish(key)
+	}
 	if m := &c.regions[e.region]; m.live > 0 {
 		m.live--
 	}
@@ -1076,6 +1179,9 @@ func (c *Cache) InvalidateRegion(id int) {
 	m.keys.each(func(kb []byte) bool {
 		if e, ok := c.index[string(kb)]; ok && int(e.region) == id {
 			delete(c.index, string(kb))
+			if c.reads != nil {
+				c.reads.unpublish(string(kb))
+			}
 			if wantDropped {
 				dropped = append(dropped, string(kb))
 			}
@@ -1218,6 +1324,11 @@ func (c *Cache) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	r.Counter("region_quarantined_total", "Regions withdrawn after repeated store failures", ls, &c.quarantines)
 	r.Counter("cache_fault_lost_keys_total", "Keys dropped because their bytes became unreachable", ls, &c.lostKeys)
 	r.Counter("cache_restore_dropped_entries_total", "Snapshot entries dropped by the Restore repair pass", ls, &c.restoreDrop)
+	if c.reads != nil {
+		r.Counter("cache_fast_get_hits_total", "Gets answered lock-free from the read index", ls, &c.reads.fastHits)
+		r.Counter("cache_fast_get_misses_total", "Misses answered lock-free from the read index", ls, &c.reads.fastMisses)
+		r.Counter("cache_read_note_drops_total", "Deferred read notes shed on queue overflow", ls, &c.reads.noteDrops)
+	}
 	if am, ok := c.cfg.Admission.(AdmissionMetrics); ok {
 		am.MetricsInto(r, ls)
 	}

@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// newTestShardedFast builds n independent engines with the lock-free read
+// index enabled and wraps them in a Sharded frontend — the serving-layer
+// configuration (Config.ReadIndex on, values tracked).
+func newTestShardedFast(t testing.TB, n, regions int, regionSize int64) *Sharded {
+	t.Helper()
+	engines := make([]*Cache, n)
+	for i := range engines {
+		st := newMemStore(regions, regionSize)
+		c, err := New(Config{Store: st, TrackValues: true, ReadIndex: true})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		engines[i] = c
+	}
+	s, err := NewSharded(engines)
+	if err != nil {
+		t.Fatalf("NewSharded: %v", err)
+	}
+	return s
+}
+
+// testRNG is a splitmix64 stepper for deterministic op streams.
+type testRNG struct{ s uint64 }
+
+func (r *testRNG) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// TestFastReadStressOneShard hammers a single shard from many goroutines at
+// once — lock-free Gets and Contains racing locked Sets, Deletes, periodic
+// SealOpen via WithShard, and whole-cache Len/Stats cuts. Run under -race
+// this is the read-path's memory-safety oracle; the assertions below check
+// the counters still reconcile after the storm.
+func TestFastReadStressOneShard(t *testing.T) {
+	s := newTestShardedFast(t, 1, 8, 32<<10)
+	const keys = 200
+	key := func(i uint64) string { return fmt.Sprintf("stress-%03d", i%keys) }
+
+	// Warm the shard so readers see a mix of hits and misses from the start.
+	for i := uint64(0); i < keys; i += 2 {
+		if err := s.Set(key(i), []byte(key(i)), 0); err != nil {
+			t.Fatalf("warm Set: %v", err)
+		}
+	}
+
+	const (
+		writers = 2
+		readers = 4
+		opsEach = 3000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := testRNG{s: seed}
+			for i := 0; i < opsEach; i++ {
+				r := rng.next()
+				k := key(r)
+				switch {
+				case r%10 < 6:
+					if err := s.Set(k, []byte(k), 0); err != nil {
+						t.Errorf("Set(%s): %v", k, err)
+						return
+					}
+				case r%10 < 8:
+					s.Delete(k)
+				default:
+					// Seal the open region mid-traffic: readers must keep
+					// serving across the open→sealed transition.
+					s.WithShard(0, func(c *Cache) { c.SealOpen() }) //nolint:errcheck
+				}
+			}
+		}(uint64(w) + 1)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			rng := testRNG{s: seed}
+			for i := 0; i < opsEach; i++ {
+				r := rng.next()
+				k := key(r)
+				if r%2 == 0 {
+					v, ok, err := s.Get(k)
+					if err != nil {
+						t.Errorf("Get(%s): %v", k, err)
+						return
+					}
+					if ok && string(v) != k {
+						t.Errorf("Get(%s) returned %q", k, v)
+						return
+					}
+				} else {
+					s.Contains(k)
+				}
+			}
+		}(uint64(100 + g))
+	}
+	// Consistent cuts while both paths run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if n := s.Len(); n < 0 || n > keys {
+				t.Errorf("Len = %d out of range", n)
+				return
+			}
+			s.Stats()
+		}
+	}()
+	wg.Wait()
+
+	st := s.Stats()
+	if st.Gets != st.Hits+st.Misses {
+		t.Fatalf("gets=%d but hits+misses=%d", st.Gets, st.Hits+st.Misses)
+	}
+	fastHits, fastMisses, _ := s.FastReadStats()
+	if fastHits+fastMisses == 0 {
+		t.Fatal("lock-free path never answered a get; stress test exercised nothing")
+	}
+	if fastHits+fastMisses > st.Gets {
+		t.Fatalf("fast gets %d exceed total gets %d", fastHits+fastMisses, st.Gets)
+	}
+}
+
+// TestShardedFastReadReplayDeterminism replays the same seeded per-shard op
+// sequences twice — one goroutine per shard, lock-free reads enabled — and
+// requires identical merged Stats. This is the determinism contract from the
+// Sharded doc comment extended to the fast-read path: deferred notes drain at
+// locked-op boundaries, so with a single goroutine per shard the note
+// processing points (and thus recency, expiry, and every counter) depend only
+// on the op sequence, not on cross-shard goroutine interleaving.
+func TestShardedFastReadReplayDeterminism(t *testing.T) {
+	const (
+		shards  = 4
+		keys    = 512
+		opsEach = 4000
+		seed    = 99
+	)
+	run := func() (Stats, [shards]Stats) {
+		s := newTestShardedFast(t, shards, 8, 16<<10)
+		// Pre-partition the keyspace so each goroutine only ever touches its
+		// own shard: per-shard serialization is what makes the replay
+		// deterministic.
+		perShard := make([][]string, shards)
+		for i := 0; i < keys; i++ {
+			k := fmt.Sprintf("det-%05d", i)
+			sh := s.ShardFor(k)
+			perShard[sh] = append(perShard[sh], k)
+		}
+		var wg sync.WaitGroup
+		for sh := 0; sh < shards; sh++ {
+			wg.Add(1)
+			go func(sh int) {
+				defer wg.Done()
+				rng := testRNG{s: ShardSeed(seed, sh)}
+				mine := perShard[sh]
+				for i := 0; i < opsEach; i++ {
+					r := rng.next()
+					k := mine[r%uint64(len(mine))]
+					switch {
+					case r%10 < 5:
+						if _, _, err := s.Get(k); err != nil {
+							t.Errorf("shard %d Get(%s): %v", sh, k, err)
+							return
+						}
+					case r%10 < 8:
+						if err := s.Set(k, []byte(k), 0); err != nil {
+							t.Errorf("shard %d Set(%s): %v", sh, k, err)
+							return
+						}
+					case r%10 < 9:
+						s.Delete(k)
+					default:
+						s.Contains(k)
+					}
+				}
+			}(sh)
+		}
+		wg.Wait()
+		var per [shards]Stats
+		for i := range per {
+			per[i] = s.ShardStats(i)
+		}
+		return s.Stats(), per
+	}
+
+	merged1, per1 := run()
+	merged2, per2 := run()
+	if !reflect.DeepEqual(merged1, merged2) {
+		t.Fatalf("merged stats differ across identical replays:\n run1: %+v\n run2: %+v", merged1, merged2)
+	}
+	for i := range per1 {
+		if !reflect.DeepEqual(per1[i], per2[i]) {
+			t.Fatalf("shard %d stats differ across identical replays:\n run1: %+v\n run2: %+v", i, per1[i], per2[i])
+		}
+	}
+	if merged1.Gets == 0 || merged1.Sets == 0 {
+		t.Fatalf("replay exercised nothing: %+v", merged1)
+	}
+}

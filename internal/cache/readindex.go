@@ -1,0 +1,264 @@
+package cache
+
+import (
+	"sync"
+	"time"
+
+	"znscache/internal/stats"
+)
+
+// This file implements the lock-free read path (DESIGN.md §12): an RCU-style
+// copy-on-write read index maintained alongside the engine's authoritative
+// index. The engine itself stays single-threaded — every structure it owns
+// (index map, region table, eviction order) is only touched under the shard
+// write lock — but mutators additionally publish an immutable per-key view
+// into a sync.Map that concurrent readers may consult without any lock.
+//
+// The contract:
+//
+//   - A readEntry is immutable after publication. Mutators never modify a
+//     published entry; they Store a fresh one (copy-on-write) or Delete it.
+//     Readers therefore only ever observe a complete, consistent view.
+//   - The read index mirrors the authoritative index: every insert publishes
+//     (appendItem), every removal unpublishes (delete/expiry/eviction/loss).
+//     A reader that misses the read index may correctly report a miss; the
+//     only transient skew a concurrent reader can observe is a spurious miss
+//     mid-eviction-reinsert — never stale or wrong bytes.
+//   - Side effects a classic Get performs under the lock (LRU recency, the
+//     reinsertion hit counter, lazy TTL removal) are deferred: the fast path
+//     enqueues a note into a bounded queue, and mutators drain the queue at
+//     the top of every locked operation. The queue drops on overflow (the
+//     drop is counted) — recency hints are advisory, correctness never
+//     depends on a note being processed.
+//   - Fast reads do not advance the virtual clock. The simulated-time model
+//     belongs to the single-threaded replay; a concurrent serving workload
+//     observes the constant index-lookup cost in the latency histogram and
+//     leaves the clock to the mutators.
+
+// readEntry is one published item: an immutable value copy plus the TTL
+// deadline. val is nil for metadata-only items (or TrackValues off), in
+// which case servable is false and value-returning reads fall back to the
+// locked path (which may promote the entry after a verified sealed read).
+type readEntry struct {
+	val      []byte
+	servable bool
+	expireAt uint32 // virtual-clock second; 0 = no TTL
+}
+
+// readNote is one deferred side effect observed by the lock-free path.
+type readNote struct {
+	key    string
+	expire bool // true: TTL expiry observed; false: touch (recency + hits)
+}
+
+// readNoteCap bounds the deferred-note queue. Overflow drops notes (counted
+// in noteDrops): under a read-only storm with no mutator to drain the queue,
+// recency hints are shed rather than memory grown.
+const readNoteCap = 4096
+
+// readIndex is the lock-free view. All mutation happens on the engine's
+// (locked, single-threaded) side; Load and the note queue are the only
+// concurrent surfaces.
+type readIndex struct {
+	m sync.Map // string -> *readEntry
+
+	noteMu sync.Mutex
+	notes  []readNote
+	spare  []readNote // swap buffer so draining never allocates
+
+	fastHits   stats.Counter // gets answered without the shard lock
+	fastMisses stats.Counter // misses answered without the shard lock
+	noteDrops  stats.Counter // deferred notes shed on queue overflow
+}
+
+func newReadIndex() *readIndex {
+	return &readIndex{
+		notes: make([]readNote, 0, readNoteCap),
+		spare: make([]readNote, 0, readNoteCap),
+	}
+}
+
+// publish installs a fresh immutable entry for key. val must be a private
+// copy the caller relinquishes; it is served to concurrent readers as-is.
+func (ri *readIndex) publish(key string, val []byte, expireAt uint32) {
+	ri.m.Store(key, &readEntry{val: val, servable: val != nil, expireAt: expireAt})
+}
+
+// setExpire re-publishes key with a new TTL deadline (copy-on-write: the
+// value slice is shared between the old and new entry — both immutable).
+func (ri *readIndex) setExpire(key string, expireAt uint32) {
+	if v, ok := ri.m.Load(key); ok {
+		old := v.(*readEntry)
+		ri.m.Store(key, &readEntry{val: old.val, servable: old.servable, expireAt: expireAt})
+	}
+}
+
+// unpublish removes key from the read index.
+func (ri *readIndex) unpublish(key string) {
+	ri.m.Delete(key)
+}
+
+// note enqueues a deferred side effect, dropping it if the queue is full.
+func (ri *readIndex) note(n readNote) {
+	ri.noteMu.Lock()
+	if len(ri.notes) >= readNoteCap {
+		ri.noteMu.Unlock()
+		ri.noteDrops.Inc()
+		return
+	}
+	ri.notes = append(ri.notes, n)
+	ri.noteMu.Unlock()
+}
+
+// expired reports whether the entry's TTL deadline has passed at virtual
+// time now.
+func (e *readEntry) expired(now time.Duration) bool {
+	return e.expireAt != 0 && now >= time.Duration(e.expireAt)*time.Second
+}
+
+// TryFastGet attempts to answer a Get without the shard lock. done reports
+// whether the lookup was fully answered; when done is false the caller must
+// retry on the locked path. On a hit the returned slice is the read index's
+// immutable copy — callers must treat it as read-only.
+//
+// Accounting on the fast path: the op and hit/miss counters are atomic and
+// updated immediately; the latency histogram observes the constant index
+// lookup cost; recency/TTL side effects become deferred notes. The virtual
+// clock is not advanced.
+func (c *Cache) TryFastGet(key string) (val []byte, found, done bool) {
+	ri := c.reads
+	if ri == nil {
+		return nil, false, false
+	}
+	v, ok := ri.m.Load(key)
+	if !ok {
+		c.gets.Inc()
+		c.hitRatio.Miss()
+		c.getLat.Observe(c.cpu.IndexLookup)
+		ri.fastMisses.Inc()
+		return nil, false, true
+	}
+	e := v.(*readEntry)
+	if e.expired(c.clock.Now()) {
+		// Reader-side lazy expiry: remove exactly the entry we loaded (a
+		// concurrent re-Set's fresh entry survives the CompareAndDelete) and
+		// leave the authoritative cleanup to a mutator via the note queue.
+		ri.m.CompareAndDelete(key, v)
+		ri.note(readNote{key: key, expire: true})
+		c.gets.Inc()
+		c.hitRatio.Miss()
+		c.getLat.Observe(c.cpu.IndexLookup)
+		ri.fastMisses.Inc()
+		return nil, false, true
+	}
+	if !e.servable && c.cfg.TrackValues {
+		// Value bytes not in DRAM (metadata-only insert, or a restored entry
+		// not yet promoted): the locked path must perform the device read.
+		return nil, false, false
+	}
+	ri.note(readNote{key: key})
+	c.gets.Inc()
+	c.hitRatio.Hit()
+	c.getLat.Observe(c.cpu.IndexLookup)
+	ri.fastHits.Inc()
+	return e.val, true, true
+}
+
+// TryFastContains answers Contains without the shard lock; done=false means
+// the read index is disabled and the caller must use the locked path.
+func (c *Cache) TryFastContains(key string) (found, done bool) {
+	ri := c.reads
+	if ri == nil {
+		return false, false
+	}
+	v, ok := ri.m.Load(key)
+	if !ok {
+		return false, true
+	}
+	e := v.(*readEntry)
+	if e.expired(c.clock.Now()) {
+		ri.m.CompareAndDelete(key, v)
+		ri.note(readNote{key: key, expire: true})
+		return false, true
+	}
+	return true, true
+}
+
+// drainReadNotes applies the deferred side effects accumulated by the fast
+// path. It must run under the shard write lock (the engine's single-threaded
+// context): it touches the authoritative index, the eviction order, and the
+// expiry counters. Called at the top of every locked operation so note
+// processing points are deterministic under a per-shard replay.
+func (c *Cache) drainReadNotes() {
+	ri := c.reads
+	if ri == nil {
+		return
+	}
+	ri.noteMu.Lock()
+	if len(ri.notes) == 0 {
+		ri.noteMu.Unlock()
+		return
+	}
+	batch := ri.notes
+	ri.notes = ri.spare[:0]
+	ri.noteMu.Unlock()
+
+	now := c.clock.Now()
+	for _, n := range batch {
+		e, ok := c.index[n.key]
+		if !ok {
+			continue
+		}
+		if n.expire {
+			// Re-check: a Set after the reader's observation may have
+			// replaced the item with a live one — only remove if the entry
+			// is still past its deadline.
+			if e.expireAt != 0 && now >= time.Duration(e.expireAt)*time.Second {
+				delete(c.index, n.key)
+				if m := &c.regions[e.region]; m.live > 0 {
+					m.live--
+				}
+				c.expirations.Inc()
+				ri.unpublish(n.key)
+			}
+			continue
+		}
+		// Touch: the recency and reinsertion-counter effects of a classic
+		// locked Get.
+		if e.hits < ^uint8(0) {
+			e.hits++
+			c.index[n.key] = e
+		}
+		if c.cfg.Policy == LRU {
+			if m := &c.regions[e.region]; m.elem != nil && m.elem != c.order.Front() {
+				c.order.MoveToFront(m.elem)
+				c.orderVer++
+			}
+		}
+	}
+	ri.spare = batch[:0]
+}
+
+// promoteRead publishes a servable copy of val for key after a verified
+// sealed-region read, so subsequent Gets are answered lock-free. No-op when
+// the entry is already servable.
+func (c *Cache) promoteRead(key string, e entry, val []byte) {
+	ri := c.reads
+	if ri == nil || val == nil {
+		return
+	}
+	if v, ok := ri.m.Load(key); ok && v.(*readEntry).servable {
+		return
+	}
+	ri.publish(key, append([]byte(nil), val...), e.expireAt)
+}
+
+// FastReadStats reports the lock-free path's counters: gets answered without
+// the shard lock (hits, misses) and deferred notes dropped on overflow.
+// Zeros when the read index is disabled.
+func (c *Cache) FastReadStats() (fastHits, fastMisses, noteDrops uint64) {
+	if c.reads == nil {
+		return 0, 0, 0
+	}
+	return c.reads.fastHits.Load(), c.reads.fastMisses.Load(), c.reads.noteDrops.Load()
+}

@@ -29,12 +29,27 @@ type Sharded struct {
 	shards []shard
 }
 
-// shard pairs one engine with the mutex that serializes access to it. The
-// engine itself stays single-threaded (its simulation contract); the mutex
-// is the concurrency boundary.
+// shard pairs one engine with the lock that serializes access to it. The
+// engine itself stays single-threaded (its simulation contract); the lock
+// is the concurrency boundary. Mutating operations (and classic Gets, which
+// mutate recency/TTL state) take the write lock; read-only snapshots
+// (Len/Stats) take read locks. When the engine's lock-free read index is
+// enabled (Config.ReadIndex), Get and Contains are answered without any
+// lock at all on the fast path — see readindex.go.
 type shard struct {
-	mu sync.Mutex
+	mu sync.RWMutex
 	c  *Cache
+}
+
+// lock takes shard sh's write lock and applies the deferred side effects
+// the lock-free read path accumulated since the previous locked operation
+// (recency touches, observed TTL expiries). Pairing the drain with lock
+// acquisition keeps note processing points deterministic under a per-shard
+// replay: the engine state after N locked ops depends only on the op
+// sequence and the notes queued between them.
+func (sh *shard) lock() {
+	sh.mu.Lock()
+	sh.c.drainReadNotes()
 }
 
 // NewSharded builds a sharded frontend over the given engines. Every engine
@@ -122,7 +137,7 @@ func ShardSeed(seed uint64, i int) uint64 {
 // Set inserts or replaces key on its shard.
 func (s *Sharded) Set(key string, value []byte, valLen int) error {
 	sh := &s.shards[s.ShardFor(key)]
-	sh.mu.Lock()
+	sh.lock()
 	defer sh.mu.Unlock()
 	return sh.c.Set(key, value, valLen)
 }
@@ -130,24 +145,34 @@ func (s *Sharded) Set(key string, value []byte, valLen int) error {
 // SetTTL is Set with a time-to-live on the owning shard's virtual clock.
 func (s *Sharded) SetTTL(key string, value []byte, valLen int, ttl time.Duration) error {
 	sh := &s.shards[s.ShardFor(key)]
-	sh.mu.Lock()
+	sh.lock()
 	defer sh.mu.Unlock()
 	return sh.c.SetTTL(key, value, valLen, ttl)
 }
 
-// Get looks up key on its shard.
+// Get looks up key on its shard. With the engine's read index enabled
+// (Config.ReadIndex) most lookups are answered lock-free; such hits return
+// the index's immutable value copy, which callers must treat as read-only.
+// Lookups the fast path cannot answer (value bytes not in DRAM yet) fall
+// back to the classic path under the shard write lock.
 func (s *Sharded) Get(key string) ([]byte, bool, error) {
 	sh := &s.shards[s.ShardFor(key)]
-	sh.mu.Lock()
+	if val, found, done := sh.c.TryFastGet(key); done {
+		return val, found, nil
+	}
+	sh.lock()
 	defer sh.mu.Unlock()
 	return sh.c.Get(key)
 }
 
 // Contains reports whether key is present (TTL-expired items count as
-// absent, as in Cache.Contains).
+// absent, as in Cache.Contains). Lock-free when the read index is enabled.
 func (s *Sharded) Contains(key string) bool {
 	sh := &s.shards[s.ShardFor(key)]
-	sh.mu.Lock()
+	if found, done := sh.c.TryFastContains(key); done {
+		return found
+	}
+	sh.lock()
 	defer sh.mu.Unlock()
 	return sh.c.Contains(key)
 }
@@ -155,19 +180,57 @@ func (s *Sharded) Contains(key string) bool {
 // Delete removes key from its shard.
 func (s *Sharded) Delete(key string) bool {
 	sh := &s.shards[s.ShardFor(key)]
-	sh.mu.Lock()
+	sh.lock()
 	defer sh.mu.Unlock()
 	return sh.c.Delete(key)
 }
 
-// Len returns the total number of indexed items across shards.
+// WithShard runs fn against shard i's engine under the shard write lock,
+// with deferred read notes drained first. This is the batch-dispatch hook:
+// a caller holding several mutations for one shard executes them all in one
+// critical section instead of taking the lock per operation. fn must not
+// retain the engine past its return.
+func (s *Sharded) WithShard(i int, fn func(*Cache)) {
+	sh := &s.shards[i]
+	sh.lock()
+	defer sh.mu.Unlock()
+	fn(sh.c)
+}
+
+// rlockAll takes every shard's read lock in shard order and returns the
+// release function. While held, no mutator can run on any shard, so the
+// caller observes one consistent cut of the whole cache: every operation is
+// either fully before or fully after the snapshot. Two qualifications,
+// which are the consistency model for Len/Stats:
+//
+//   - Lock-free reads (the Config.ReadIndex fast path) do not acquire the
+//     shard lock, so fast-path counter updates (gets, hits/misses) can land
+//     while the cut is held. Counters are monotonic atomics — the snapshot
+//     is a valid linearization point, merely not a frozen instant for the
+//     fast-read counters.
+//   - Acquisition is ordered (shard 0..N-1) and read locks are shared, so
+//     concurrent Len/Stats calls never deadlock and proceed in parallel.
+func (s *Sharded) rlockAll() (release func()) {
+	for i := range s.shards {
+		s.shards[i].mu.RLock()
+	}
+	return func() {
+		for i := range s.shards {
+			s.shards[i].mu.RUnlock()
+		}
+	}
+}
+
+// Len returns the total number of indexed items across shards, counted on
+// one consistent cut (see rlockAll): all shard read locks are held
+// simultaneously, rather than polling shards one after another while
+// earlier-counted shards keep mutating.
 func (s *Sharded) Len() int {
+	release := s.rlockAll()
+	defer release()
 	n := 0
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		n += sh.c.Len()
-		sh.mu.Unlock()
+		n += s.shards[i].c.Len()
 	}
 	return n
 }
@@ -183,7 +246,7 @@ func (s *Sharded) Snapshot() ([][]byte, error) {
 	out := make([][]byte, len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.Lock()
+		sh.lock()
 		err := sh.c.SealOpen()
 		var snap []byte
 		if err == nil {
@@ -202,7 +265,7 @@ func (s *Sharded) Snapshot() ([][]byte, error) {
 func (s *Sharded) Drain() {
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.Lock()
+		sh.lock()
 		sh.c.Drain()
 		sh.mu.Unlock()
 	}
@@ -218,31 +281,47 @@ func (s *Sharded) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	}
 }
 
-// ShardStats snapshots shard i's engine counters under the shard lock, so
-// it is safe to call while other goroutines use the frontend.
+// ShardStats snapshots shard i's engine counters under the shard read lock,
+// so it is safe to call while other goroutines use the frontend.
 func (s *Sharded) ShardStats(i int) Stats {
 	sh := &s.shards[i]
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	return sh.c.Stats()
 }
 
-// Stats merges all shards' counters into one snapshot. Counters sum; the
-// latency distributions are merged at histogram resolution (exact — shards
-// share bucket boundaries); HitRatio is recomputed from the summed hits and
+// FastReadStats sums the lock-free read path's counters across shards:
+// gets answered without a shard lock (hits, misses) and deferred notes
+// dropped on queue overflow. All zero when Config.ReadIndex is off.
+func (s *Sharded) FastReadStats() (fastHits, fastMisses, noteDrops uint64) {
+	for i := range s.shards {
+		h, m, d := s.shards[i].c.FastReadStats()
+		fastHits += h
+		fastMisses += m
+		noteDrops += d
+	}
+	return
+}
+
+// Stats merges all shards' counters into one snapshot taken on a single
+// consistent cut — every shard's read lock is held simultaneously (see
+// rlockAll for the exact consistency model), so no mutator lands between
+// the first and last shard's snapshot. Counters sum; the latency
+// distributions are merged at histogram resolution (exact — shards share
+// bucket boundaries); HitRatio is recomputed from the summed hits and
 // misses; SimulatedTime is the furthest shard clock, the makespan of a
 // parallel replay.
 func (s *Sharded) Stats() Stats {
 	getH := stats.NewHistogram()
 	setH := stats.NewHistogram()
 	var out Stats
+	release := s.rlockAll()
+	defer release()
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.Lock()
 		st := sh.c.Stats()
 		getH.Merge(sh.c.GetLatencyHistogram())
 		setH.Merge(sh.c.SetLatencyHistogram())
-		sh.mu.Unlock()
 		out.Gets += st.Gets
 		out.Sets += st.Sets
 		out.Deletes += st.Deletes

@@ -267,6 +267,14 @@ func Restore(cfg Config, snapshot []byte) (*Cache, error) {
 	// Reopen the snapshot's open region as a fresh buffer.
 	c.open = s.Open
 	c.openRegion(s.Open)
+	if c.reads != nil {
+		// Restored values live on flash, not DRAM: publish non-servable
+		// entries so the lock-free path answers Contains and misses, and a
+		// verified sealed read promotes each key to servable on first touch.
+		for k, e := range c.index {
+			c.reads.publish(k, nil, e.expireAt)
+		}
+	}
 	return c, nil
 }
 

@@ -195,6 +195,11 @@ type ServeRowJSON struct {
 	P999Ns      int64   `json:"p999_ns"`
 	MeanNs      int64   `json:"mean_ns"`
 	MaxNs       int64   `json:"max_ns"`
+	// Multiget is the loadgen's get-grouping width (absent when grouping was
+	// off); GetBatchSizes counts issued get commands by key count, so the
+	// report shows the batch-size distribution the server actually saw.
+	Multiget      int            `json:"multiget,omitempty"`
+	GetBatchSizes map[int]uint64 `json:"get_batch_sizes,omitempty"`
 }
 
 // AdmissionRowJSON is AdmissionRow in wire form.

@@ -161,6 +161,9 @@ type RigConfig struct {
 	Clock *sim.Clock
 	// TrackValues / StoreData enable full-fidelity payloads.
 	TrackValues bool
+	// ReadIndex enables the engine's lock-free read index (the serving
+	// layer's fast-read path); off keeps classic single-threaded accounting.
+	ReadIndex bool
 	// Trace wires an event tracer through every layer of the rig. Nil falls
 	// back to the process-wide tracer installed with SetTracer (nil there too
 	// disables tracing).
@@ -450,6 +453,7 @@ func Build(cfg RigConfig) (*Rig, error) {
 		AdmissionSeed:    cfg.AdmissionSeed,
 		BufferMemory:     cfg.BufferMemory,
 		TrackValues:      cfg.TrackValues,
+		ReadIndex:        cfg.ReadIndex,
 		ReinsertHits:     cfg.ReinsertHits,
 		Clock:            cfg.Clock,
 		Trace:            cfg.Trace,

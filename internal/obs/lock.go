@@ -1,0 +1,49 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/pprof"
+)
+
+// Lock-contention observability: the serving layer's whole point is to keep
+// requests off the shard mutexes, so contention must be measurable. Go's
+// runtime already meters it (mutex and block profiles); this file turns the
+// sampling on and exposes the profile sample counts as gauges, so a scrape
+// shows contention trending without pulling a full pprof dump — and the
+// /debug/pprof/mutex and /debug/pprof/block endpoints on the obs HTTP server
+// serve the detailed stacks for the CI artifacts.
+
+// SetLockProfiling enables runtime mutex and block profiling at the given
+// sampling rate (1 = every event; higher rates sample 1/rate mutex events
+// and block events costing ≥ rate ns). Rate ≤ 0 disables both.
+func SetLockProfiling(rate int) {
+	if rate <= 0 {
+		runtime.SetMutexProfileFraction(0)
+		runtime.SetBlockProfileRate(0)
+		return
+	}
+	runtime.SetMutexProfileFraction(rate)
+	runtime.SetBlockProfileRate(rate)
+}
+
+// LockMetricsInto registers gauges for the runtime's lock-contention
+// profiles: the number of recorded contention sample sites in the mutex and
+// block profiles. Zero when profiling is off (SetLockProfiling not called).
+func LockMetricsInto(r *Registry, labels Labels) {
+	mutex := pprof.Lookup("mutex")
+	block := pprof.Lookup("block")
+	r.Gauge("runtime_mutex_profile_samples", "Recorded mutex-contention sample sites",
+		labels, func() float64 {
+			if mutex == nil {
+				return 0
+			}
+			return float64(mutex.Count())
+		})
+	r.Gauge("runtime_block_profile_samples", "Recorded blocking sample sites",
+		labels, func() float64 {
+			if block == nil {
+				return 0
+			}
+			return float64(block.Count())
+		})
+}

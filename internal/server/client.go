@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"fmt"
 	"io"
 	"net"
@@ -19,9 +20,25 @@ type Client struct {
 	nc      net.Conn
 	br      *bufio.Reader
 	bw      *bufio.Writer
-	pending []byte // one request kind per queued request: 'g', 's', 'd'
+	pending []pend   // one entry per queued request
+	mkeys   []string // key arena for queued multigets, spanned by pend.k0/k1
+	scratch []byte   // reused body buffer when DiscardValues
+	fields  [][]byte // reused tokenizer scratch for VALUE headers
+	resps   []Resp   // reused Exchange result backing array
 	// Timeout bounds each Exchange's network reads and writes (default 30s).
 	Timeout time.Duration
+	// DiscardValues, when set, drops fetched value bytes into a reused
+	// scratch buffer instead of allocating a fresh slice per hit: Resp.Value
+	// is nil but Hit/Flags/Cas are intact. The load generator sets it — it
+	// cares about outcomes and latency, not payload contents.
+	DiscardValues bool
+}
+
+// pend records one queued request: kind 'g' (single get), 'm' (multiget,
+// keys in mkeys[k0:k1]), 's' (set), or 'd' (delete).
+type pend struct {
+	kind   byte
+	k0, k1 int
 }
 
 // Resp is one request's outcome. Hit means: value found (get), stored
@@ -64,7 +81,26 @@ func (c *Client) QueueGet(key string, withCas bool) {
 	}
 	c.bw.WriteString(key)  //nolint:errcheck
 	c.bw.WriteString(crlf) //nolint:errcheck
-	c.pending = append(c.pending, 'g')
+	c.pending = append(c.pending, pend{kind: 'g'})
+}
+
+// QueueGetMulti buffers one multi-key get ("get k1 k2 ..."). The server
+// answers with the hits' VALUE blocks in request order and a single END;
+// Exchange expands that into one Resp per key, so response alignment matches
+// the keys queued. The keys are copied — the caller may reuse its slice.
+func (c *Client) QueueGetMulti(keys []string) {
+	if len(keys) == 0 {
+		return
+	}
+	c.bw.WriteString("get") //nolint:errcheck
+	k0 := len(c.mkeys)
+	for _, k := range keys {
+		c.bw.WriteByte(' ') //nolint:errcheck
+		c.bw.WriteString(k) //nolint:errcheck
+		c.mkeys = append(c.mkeys, k)
+	}
+	c.bw.WriteString(crlf) //nolint:errcheck
+	c.pending = append(c.pending, pend{kind: 'm', k0: k0, k1: len(c.mkeys)})
 }
 
 // QueueSet buffers a set.
@@ -80,7 +116,7 @@ func (c *Client) QueueSet(key string, flags uint32, exptime int64, value []byte)
 	c.bw.WriteString(crlf) //nolint:errcheck
 	c.bw.Write(value)      //nolint:errcheck
 	c.bw.WriteString(crlf) //nolint:errcheck
-	c.pending = append(c.pending, 's')
+	c.pending = append(c.pending, pend{kind: 's'})
 }
 
 // QueueDelete buffers a delete.
@@ -88,32 +124,62 @@ func (c *Client) QueueDelete(key string) {
 	c.bw.WriteString("delete ") //nolint:errcheck
 	c.bw.WriteString(key)       //nolint:errcheck
 	c.bw.WriteString(crlf)      //nolint:errcheck
-	c.pending = append(c.pending, 'd')
+	c.pending = append(c.pending, pend{kind: 'd'})
 }
 
 // Exchange flushes every queued request in one write and reads their
-// responses in order. A transport error poisons the connection; a
-// server-reported error is returned per-response in Resp.Err.
+// responses in order. A multiget expands to one Resp per key, in the key
+// order queued, so callers can line responses up with requests positionally.
+// A transport error poisons the connection; a server-reported error is
+// returned per-response in Resp.Err.
+//
+// The returned slice is valid until the next Exchange on this client: its
+// backing array is reused across calls so a pipelined caller does not pay
+// one allocation per batch. Copy it to retain responses longer.
 func (c *Client) Exchange() ([]Resp, error) {
 	if len(c.pending) == 0 {
 		return nil, nil
 	}
+	n := 0
+	for _, p := range c.pending {
+		if p.kind == 'm' {
+			n += p.k1 - p.k0
+		} else {
+			n++
+		}
+	}
 	c.nc.SetDeadline(time.Now().Add(c.Timeout)) //nolint:errcheck
 	if err := c.bw.Flush(); err != nil {
-		c.pending = c.pending[:0]
+		c.reset()
 		return nil, err
 	}
-	out := make([]Resp, 0, len(c.pending))
-	for _, kind := range c.pending {
-		r, err := c.readResp(kind)
+	if cap(c.resps) < n {
+		c.resps = make([]Resp, 0, n)
+	}
+	out := c.resps[:0]
+	for _, p := range c.pending {
+		var err error
+		if p.kind == 'm' {
+			out, err = c.readMultiGetResp(c.mkeys[p.k0:p.k1], out)
+		} else {
+			var r Resp
+			r, err = c.readResp(p.kind)
+			out = append(out, r)
+		}
 		if err != nil {
-			c.pending = c.pending[:0]
+			c.reset()
+			c.resps = out
 			return out, err
 		}
-		out = append(out, r)
 	}
-	c.pending = c.pending[:0]
+	c.reset()
+	c.resps = out
 	return out, nil
+}
+
+func (c *Client) reset() {
+	c.pending = c.pending[:0]
+	c.mkeys = c.mkeys[:0]
 }
 
 // readResp parses one response for a request of the given kind.
@@ -122,68 +188,149 @@ func (c *Client) readResp(kind byte) (Resp, error) {
 	case 'g':
 		return c.readGetResp()
 	case 's', 'd':
-		line, err := c.readLine()
+		line, err := c.readLineB()
 		if err != nil {
 			return Resp{}, err
 		}
 		switch {
-		case kind == 's' && line == "STORED":
+		case kind == 's' && string(line) == "STORED":
 			return Resp{Hit: true}, nil
-		case kind == 's' && line == "NOT_STORED":
+		case kind == 's' && string(line) == "NOT_STORED":
 			return Resp{}, nil
-		case kind == 'd' && line == "DELETED":
+		case kind == 'd' && string(line) == "DELETED":
 			return Resp{Hit: true}, nil
-		case kind == 'd' && line == "NOT_FOUND":
+		case kind == 'd' && string(line) == "NOT_FOUND":
 			return Resp{}, nil
-		case isErrorLine(line):
-			return Resp{Err: line}, nil
+		case isErrorLineB(line):
+			return Resp{Err: string(line)}, nil
 		}
 		return Resp{}, fmt.Errorf("server: unexpected response %q", line)
 	}
 	return Resp{}, fmt.Errorf("server: unknown request kind %q", kind)
 }
 
+// readValueHeader parses "VALUE <key> <flags> <bytes> [<cas>]". The returned
+// key aliases line (and thus the read buffer): callers must use it before
+// the next read — in particular before consumeValueBody.
+func (c *Client) readValueHeader(line []byte) (key []byte, r Resp, n int, err error) {
+	c.fields = fieldsInto(c.fields[:0], line)
+	parts := c.fields
+	if len(parts) < 4 {
+		return nil, r, 0, fmt.Errorf("server: malformed VALUE line %q", line)
+	}
+	key = parts[1]
+	flags, err := parseUintBytes(parts[2], 32)
+	if err != nil {
+		return nil, r, 0, fmt.Errorf("server: bad flags in %q", line)
+	}
+	n64, err := parseUintBytes(parts[3], 31)
+	if err != nil {
+		return nil, r, 0, fmt.Errorf("server: bad length in %q", line)
+	}
+	if len(parts) >= 5 {
+		if cas, perr := parseUintBytes(parts[4], 64); perr == nil {
+			r.Cas = cas
+		}
+	}
+	r.Hit = true
+	r.Flags = uint32(flags)
+	return key, r, int(n64), nil
+}
+
+// consumeValueBody reads the n-byte data block plus its CRLF. With
+// DiscardValues the bytes land in the reused scratch buffer and the returned
+// slice is nil; otherwise a fresh copy is returned.
+func (c *Client) consumeValueBody(n int) ([]byte, error) {
+	if c.DiscardValues {
+		if cap(c.scratch) < n+2 {
+			c.scratch = make([]byte, n+2)
+		}
+		if _, err := io.ReadFull(c.br, c.scratch[:n+2]); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	body := make([]byte, n+2)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return nil, err
+	}
+	return body[:n], nil
+}
+
 // readGetResp parses zero or one VALUE blocks terminated by END.
 func (c *Client) readGetResp() (Resp, error) {
 	var r Resp
 	for {
-		line, err := c.readLine()
+		line, err := c.readLineB()
 		if err != nil {
 			return r, err
 		}
 		switch {
-		case line == "END":
+		case string(line) == "END":
 			return r, nil
-		case strings.HasPrefix(line, "VALUE "):
-			parts := strings.Fields(line)
-			if len(parts) < 4 {
-				return r, fmt.Errorf("server: malformed VALUE line %q", line)
-			}
-			flags, err := strconv.ParseUint(parts[2], 10, 32)
+		case bytes.HasPrefix(line, []byte("VALUE ")):
+			_, vr, n, err := c.readValueHeader(line)
 			if err != nil {
-				return r, fmt.Errorf("server: bad flags in %q", line)
-			}
-			n, err := strconv.ParseUint(parts[3], 10, 31)
-			if err != nil {
-				return r, fmt.Errorf("server: bad length in %q", line)
-			}
-			if len(parts) >= 5 {
-				if cas, err := strconv.ParseUint(parts[4], 10, 64); err == nil {
-					r.Cas = cas
-				}
-			}
-			body := make([]byte, int(n)+2)
-			if _, err := io.ReadFull(c.br, body); err != nil {
 				return r, err
 			}
-			r.Hit = true
-			r.Flags = uint32(flags)
-			r.Value = body[:n]
-		case isErrorLine(line):
-			r.Err = line
+			if vr.Value, err = c.consumeValueBody(n); err != nil {
+				return r, err
+			}
+			r = vr
+		case isErrorLineB(line):
+			r.Err = string(line)
 			return r, nil // error lines are terminal; no END follows
 		default:
 			return r, fmt.Errorf("server: unexpected response %q", line)
+		}
+	}
+}
+
+// readMultiGetResp parses one multiget response — the hits' VALUE blocks in
+// request key order, then END — and appends one Resp per requested key to
+// out. Keys absent from the response are misses. A terminal error line (the
+// server truncates the response there, no END follows) is reported on every
+// key not yet answered.
+func (c *Client) readMultiGetResp(keys []string, out []Resp) ([]Resp, error) {
+	base := len(out)
+	for range keys {
+		out = append(out, Resp{})
+	}
+	next := 0 // next requested key a VALUE block may match
+	for {
+		line, err := c.readLineB()
+		if err != nil {
+			return out, err
+		}
+		switch {
+		case string(line) == "END":
+			return out, nil
+		case bytes.HasPrefix(line, []byte("VALUE ")):
+			key, r, n, err := c.readValueHeader(line)
+			if err != nil {
+				return out, err
+			}
+			// Hits come back in request order: skip over the misses. The key
+			// aliases the read buffer, so the match must happen before the
+			// body read below invalidates it.
+			for next < len(keys) && keys[next] != string(key) {
+				next++
+			}
+			if next == len(keys) {
+				return out, fmt.Errorf("server: unexpected key %q in multiget response", key)
+			}
+			if r.Value, err = c.consumeValueBody(n); err != nil {
+				return out, err
+			}
+			out[base+next] = r
+			next++
+		case isErrorLineB(line):
+			for i := next; i < len(keys); i++ {
+				out[base+i].Err = string(line)
+			}
+			return out, nil
+		default:
+			return out, fmt.Errorf("server: unexpected response %q", line)
 		}
 	}
 }
@@ -272,13 +419,39 @@ func (c *Client) Quit() error {
 	return c.nc.Close()
 }
 
-// readLine reads one CRLF-terminated response line.
+// readLineB reads one CRLF-terminated response line without allocating: the
+// returned slice aliases the read buffer and is valid only until the next
+// read. The hot response paths parse it in place.
+func (c *Client) readLineB() ([]byte, error) {
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		// ErrBufferFull cannot happen for protocol-conforming response
+		// lines (they are far shorter than the 64 KiB buffer); treat it
+		// like any other transport error.
+		return nil, err
+	}
+	end := len(line) - 1
+	if end > 0 && line[end-1] == '\r' {
+		end--
+	}
+	return line[:end], nil
+}
+
+// isErrorLineB is isErrorLine over the in-place line bytes.
+func isErrorLineB(line []byte) bool {
+	return string(line) == "ERROR" ||
+		bytes.HasPrefix(line, []byte("CLIENT_ERROR ")) ||
+		bytes.HasPrefix(line, []byte("SERVER_ERROR "))
+}
+
+// readLine reads one CRLF-terminated response line as a string (cold paths:
+// version, stats).
 func (c *Client) readLine() (string, error) {
-	line, err := c.br.ReadString('\n')
+	line, err := c.readLineB()
 	if err != nil {
 		return "", err
 	}
-	return strings.TrimRight(line, "\r\n"), nil
+	return string(line), nil
 }
 
 // isErrorLine reports whether line is one of the protocol's error replies.

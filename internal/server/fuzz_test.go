@@ -5,6 +5,8 @@ import (
 	"net"
 	"testing"
 	"time"
+
+	"znscache"
 )
 
 // FuzzProtocol throws arbitrary bytes at a live server. The invariants: the
@@ -49,35 +51,101 @@ func FuzzProtocol(f *testing.F) {
 		srv.Shutdown(ctx) //nolint:errcheck
 	})
 
-	f.Fuzz(func(t *testing.T, data []byte) {
-		nc, err := net.Dial("tcp", srv.Addr())
-		if err != nil {
-			t.Fatalf("server stopped accepting: %v", err)
-		}
-		nc.SetDeadline(time.Now().Add(time.Second)) //nolint:errcheck
-		nc.Write(data)                              //nolint:errcheck
-		// Drain whatever comes back until the server closes or goes quiet.
-		buf := make([]byte, 4096)
-		nc.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
-		for {
-			if _, err := nc.Read(buf); err != nil {
-				break
-			}
-		}
-		nc.Close() //nolint:errcheck
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzOneInput(t, srv, data) })
+}
 
-		if n := srv.m.panics.Load(); n != 0 {
-			t.Fatalf("server recovered %d panic(s) on input %q", n, data)
+// fuzzOneInput throws data at srv over a fresh connection, drains whatever
+// comes back, and asserts the shared invariants: no recovered panics and the
+// server still answers a well-formed client afterwards.
+func fuzzOneInput(t *testing.T, srv *Server, data []byte) {
+	nc, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatalf("server stopped accepting: %v", err)
+	}
+	nc.SetDeadline(time.Now().Add(time.Second)) //nolint:errcheck
+	nc.Write(data)                              //nolint:errcheck
+	// Drain whatever comes back until the server closes or goes quiet.
+	buf := make([]byte, 4096)
+	nc.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //nolint:errcheck
+	for {
+		if _, err := nc.Read(buf); err != nil {
+			break
 		}
-		// The server must still serve a well-formed client.
-		cl, err := Dial(srv.Addr())
-		if err != nil {
-			t.Fatalf("server dead after input %q: %v", data, err)
-		}
-		cl.Timeout = 2 * time.Second
-		if _, err := cl.Version(); err != nil {
-			t.Fatalf("server unresponsive after input %q: %v", data, err)
-		}
-		cl.Close() //nolint:errcheck
+	}
+	nc.Close() //nolint:errcheck
+
+	if n := srv.m.panics.Load(); n != 0 {
+		t.Fatalf("server recovered %d panic(s) on input %q", n, data)
+	}
+	// The server must still serve a well-formed client.
+	cl, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("server dead after input %q: %v", data, err)
+	}
+	cl.Timeout = 2 * time.Second
+	if _, err := cl.Version(); err != nil {
+		t.Fatalf("server unresponsive after input %q: %v", data, err)
+	}
+	cl.Close() //nolint:errcheck
+}
+
+// FuzzProto targets the batched parse/dispatch path over the real sharded
+// cache: multi-key gets, pipelined mixed batches with read-after-write
+// conflicts, and mid-batch malformed commands all flow through the phase
+// splitter and per-shard workers. Same invariants as FuzzProtocol — no
+// panics, server stays responsive — but the seeds aim at the batch
+// machinery (phase boundaries, batch caps, multiget rendering) rather than
+// single-command parsing.
+func FuzzProto(f *testing.F) {
+	seeds := []string{
+		// Multi-key gets: hits, misses, duplicates, many keys.
+		"get a b c\r\n",
+		"get k k k k\r\n",
+		"gets a a b\r\n",
+		"get " + "x y z w v u t s r q p o n m l k j i h g f e d c b a" + "\r\n",
+		// Pipelined mixed batch with read-after-write and write-after-read.
+		"set a 0 0 1\r\nA\r\nget a\r\nset b 0 0 1\r\nB\r\nget a b\r\ndelete a\r\nget a\r\n",
+		"get a\r\nset a 0 0 1\r\nZ\r\nget a\r\n",
+		// noreply mid-batch and a stats flush point.
+		"set a 1 0 1 noreply\r\nQ\r\nget a\r\nstats\r\nget a\r\n",
+		// Malformed commands sandwiched between valid ones.
+		"set a 0 0 1\r\nA\r\nbogus\r\nget a\r\n",
+		"get a\r\nset b x y 1\r\nB\r\nget b\r\n",
+		"set a 0 0 5\r\nAB\r\nget a\r\n",
+		// Batch-cap pressure: many tiny ops in one write.
+		"get a\r\nget b\r\nget c\r\nget d\r\nget e\r\nget f\r\nget g\r\nget h\r\n" +
+			"set a 0 0 1\r\n1\r\nset b 0 0 1\r\n2\r\ndelete c\r\ndelete d\r\n",
+		"version\r\nget a b\r\nversion\r\nquit\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	c, err := znscache.OpenSharded(znscache.ShardedConfig{
+		Config: znscache.Config{Zones: 16, TrackValues: true},
+		Shards: 4,
 	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	srv, err := New(Config{
+		Backend:     c,
+		ReadTimeout: 200 * time.Millisecond,
+		IdleTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if srv.sharded == nil {
+		f.Fatal("sharded dispatch not active; FuzzProto would only cover the inline path")
+	}
+	go srv.Serve() //nolint:errcheck
+	f.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck
+		c.Close()         //nolint:errcheck
+	})
+
+	f.Fuzz(func(t *testing.T, data []byte) { fuzzOneInput(t, srv, data) })
 }

@@ -64,6 +64,183 @@ func TestServeShardedCacheEndToEnd(t *testing.T) {
 	}
 }
 
+// startSharded serves a real sharded cache and tears it down with the test.
+func startSharded(t *testing.T) (*znscache.ShardedCache, *server.Server) {
+	t.Helper()
+	c := openCache(t)
+	s, err := server.New(server.Config{Backend: c})
+	if err != nil {
+		c.Close() //nolint:errcheck
+		t.Fatal(err)
+	}
+	go s.Serve() //nolint:errcheck
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //nolint:errcheck
+		c.Close()       //nolint:errcheck
+	})
+	return c, s
+}
+
+// TestMultigetAcrossShards pins the multi-key get against the real sharded
+// backend: keys spread over all shards come back in request order, misses
+// silently absent, and the response-order contract the client relies on for
+// positional matching holds with duplicate keys too.
+func TestMultigetAcrossShards(t *testing.T) {
+	c, s := startSharded(t)
+	cl, err := server.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+
+	// Enough keys to land on every shard with overwhelming probability.
+	var keys []string
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("mget:%02d", i)
+		keys = append(keys, k)
+		if i%2 == 0 { // odd keys stay misses
+			if r, err := cl.Set(k, uint32(i), 0, []byte(k)); err != nil || !r.Hit {
+				t.Fatalf("Set(%s) = %+v, %v", k, r, err)
+			}
+		}
+	}
+	// One multiget covering hits, misses, and a duplicated key.
+	req := append(append([]string{}, keys...), keys[0], keys[1])
+	cl.QueueGetMulti(req)
+	rs, err := cl.Exchange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(req) {
+		t.Fatalf("got %d responses for %d keys", len(rs), len(req))
+	}
+	for j, r := range rs {
+		wantHit := false
+		if n := j % len(keys); j < len(keys) {
+			wantHit = n%2 == 0
+		} else {
+			wantHit = (j-len(keys))%2 == 0 // the duplicated keys[0], keys[1]
+		}
+		if r.Err != "" {
+			t.Fatalf("response %d (%s): error %q", j, req[j], r.Err)
+		}
+		if r.Hit != wantHit {
+			t.Fatalf("response %d (%s): hit=%v, want %v", j, req[j], r.Hit, wantHit)
+		}
+		if r.Hit && string(r.Value) != req[j] {
+			t.Fatalf("response %d (%s): value %q", j, req[j], r.Value)
+		}
+	}
+	if st := c.Stats(); st.Hits+st.Misses < uint64(len(req)) {
+		t.Fatalf("cache saw %d lookups, want >= %d", st.Hits+st.Misses, len(req))
+	}
+}
+
+// TestPipelinedReadAfterWriteAcrossShards sends one pipelined batch that
+// writes and immediately reads the same keys (plus deletes), spanning every
+// shard. The dispatcher splits the batch into phases at write→read conflicts,
+// so each get must observe the write that precedes it in the stream even
+// though writes run on per-shard workers.
+func TestPipelinedReadAfterWriteAcrossShards(t *testing.T) {
+	_, s := startSharded(t)
+	cl, err := server.Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+
+	const n = 24
+	var want []bool // per queued response: expected hit
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("raw:%02d", i)
+		cl.QueueSet(k, 0, 0, []byte(k))
+		want = append(want, true)
+		cl.QueueGet(k, false) // read-your-write in the same batch
+		want = append(want, true)
+		if i%3 == 0 {
+			cl.QueueDelete(k)
+			want = append(want, true)
+			cl.QueueGet(k, false) // read-your-delete
+			want = append(want, false)
+		}
+	}
+	rs, err := cl.Exchange()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != len(want) {
+		t.Fatalf("got %d responses, want %d", len(rs), len(want))
+	}
+	j := 0
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("raw:%02d", i)
+		if r := rs[j]; r.Err != "" || !r.Hit { // STORED
+			t.Fatalf("set %s: %+v", k, r)
+		}
+		j++
+		if r := rs[j]; r.Err != "" || !r.Hit || string(r.Value) != k {
+			t.Fatalf("get-after-set %s: hit=%v value=%q err=%q", k, r.Hit, r.Value, r.Err)
+		}
+		j++
+		if i%3 == 0 {
+			if r := rs[j]; r.Err != "" || !r.Hit { // DELETED
+				t.Fatalf("delete %s: %+v", k, r)
+			}
+			j++
+			if r := rs[j]; r.Err != "" || r.Hit {
+				t.Fatalf("get-after-delete %s: hit=%v err=%q", k, r.Hit, r.Err)
+			}
+			j++
+		}
+	}
+}
+
+// TestLoadgenMultigetEndToEnd drives the multiget-grouping loadgen against
+// the real sharded cache and checks the reported batch-size distribution
+// reconciles with the get count.
+func TestLoadgenMultigetEndToEnd(t *testing.T) {
+	_, s := startSharded(t)
+	res, err := server.Run(server.LoadConfig{
+		Addr:       s.Addr(),
+		Conns:      4,
+		Pipeline:   16,
+		Ops:        4000,
+		Keys:       1024,
+		Seed:       21,
+		FillOnMiss: true,
+		Multiget:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("loadgen saw %d errors", res.Errors)
+	}
+	if res.Multiget != 8 || len(res.GetBatchSizes) == 0 {
+		t.Fatalf("batch sizes missing: multiget=%d sizes=%v", res.Multiget, res.GetBatchSizes)
+	}
+	var grouped, total uint64
+	for n, cnt := range res.GetBatchSizes {
+		if n < 1 || n > 8 {
+			t.Fatalf("batch size %d outside [1,8]", n)
+		}
+		if n > 1 {
+			grouped += cnt
+		}
+		total += uint64(n) * cnt
+	}
+	if grouped == 0 {
+		t.Fatal("no multi-key gets issued despite Multiget=8 and a 50% get mix")
+	}
+	// Every issued get produced exactly one classified response (errors are
+	// zero, so none were truncated).
+	if total != res.Gets {
+		t.Fatalf("batch sizes sum to %d gets, loadgen classified %d", total, res.Gets)
+	}
+}
+
 // TestShutdownThenWarmRoll is the full graceful-shutdown story: serve
 // traffic, Shutdown the server, Close the cache (snapshot), Reopen it, and
 // verify the reopened cache still serves the pre-shutdown keys through a

@@ -46,6 +46,11 @@ type LoadConfig struct {
 	// FillOnMiss inserts the object after a get miss (read-through fill,
 	// how CacheBench drives a cache). Fills ride in the next batch.
 	FillOnMiss bool
+	// Multiget groups up to N consecutive gets from the workload stream into
+	// one multi-key "get k1 k2 ..." request. ≤ 1 disables grouping and every
+	// get goes out as its own command. Grouping reduces parse overhead and
+	// lets the server serve the whole group from one read pass.
+	Multiget int
 }
 
 func (c *LoadConfig) fillDefaults() {
@@ -82,6 +87,13 @@ type LoadResult struct {
 	Elapsed     time.Duration
 	AchievedQPS float64
 	Latency     stats.HistSnapshot
+
+	// Multiget echoes LoadConfig.Multiget (0/1 when grouping was off).
+	Multiget int
+	// GetBatchSizes counts issued get commands by the number of keys they
+	// carried: GetBatchSizes[n] multi-key gets went out with n keys each
+	// (n == 1 means a plain single-key get). Empty when no gets were sent.
+	GetBatchSizes map[int]uint64
 }
 
 // HitRatio returns hits over get lookups (0 when no gets completed).
@@ -109,7 +121,13 @@ func Run(cfg LoadConfig) (*LoadResult, error) {
 	}
 	cfg.fillDefaults()
 
+	// Each connection observes into its own histogram and batch-size counts,
+	// merged once when the connection finishes: at high pipeline depths a
+	// single shared histogram becomes the loadgen's own contention point and
+	// understates the server's throughput.
 	hist := stats.NewHistogram()
+	sizes := make(map[int]uint64)
+	var mergeMu sync.Mutex
 	var ctr loadCounters
 	var budget atomic.Int64
 	budget.Store(int64(cfg.Ops))
@@ -151,7 +169,15 @@ func Run(cfg LoadConfig) (*LoadResult, error) {
 				ValueWeights: cfg.ValueWeights,
 				Seed:         cache.ShardSeed(cfg.Seed, i),
 			})
-			runConn(cl, &cfg, gen, hist, &ctr, &budget, deadline, start, interval, i)
+			connHist := stats.NewHistogram()
+			connSizes := make(map[int]uint64)
+			runConn(cl, &cfg, gen, connHist, connSizes, &ctr, &budget, deadline, start, interval, i)
+			mergeMu.Lock()
+			hist.Merge(connHist)
+			for n, c := range connSizes {
+				sizes[n] += c
+			}
+			mergeMu.Unlock()
 		}(i)
 	}
 	wg.Wait()
@@ -175,6 +201,10 @@ func Run(cfg LoadConfig) (*LoadResult, error) {
 		Errors:    ctr.errs.Load(),
 		Elapsed:   elapsed,
 		Latency:   hist.Snapshot(),
+		Multiget:  cfg.Multiget,
+	}
+	if len(sizes) > 0 {
+		res.GetBatchSizes = sizes
 	}
 	if elapsed > 0 {
 		res.AchievedQPS = float64(res.Ops) / elapsed.Seconds()
@@ -190,10 +220,15 @@ type batchOp struct {
 	isFill bool
 }
 
-// runConn is one connection's request loop.
+// runConn is one connection's request loop. hist and sizes are this
+// connection's private accumulators; the caller merges them afterwards.
 func runConn(cl *Client, cfg *LoadConfig, gen *workload.BC, hist *stats.Histogram,
-	ctr *loadCounters, budget *atomic.Int64, deadline, start time.Time,
-	interval time.Duration, connIdx int) {
+	sizes map[int]uint64, ctr *loadCounters, budget *atomic.Int64,
+	deadline, start time.Time, interval time.Duration, connIdx int) {
+
+	// The loadgen only classifies hit/miss; fetched value bytes go straight
+	// to a reused scratch buffer instead of a fresh allocation per hit.
+	cl.DiscardValues = true
 
 	// payload is a shared template the value bytes are sliced from; the
 	// client's buffered writer copies on write, so sharing is safe. 16 KiB
@@ -217,6 +252,7 @@ func runConn(cl *Client, cfg *LoadConfig, gen *workload.BC, hist *stats.Histogra
 
 	var fills []batchOp
 	batch := make([]batchOp, 0, cfg.Pipeline)
+	var mkeys []string // reused key slice for multiget groups
 	for {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return
@@ -243,10 +279,32 @@ func runConn(cl *Client, cfg *LoadConfig, gen *workload.BC, hist *stats.Histogra
 			op := gen.Next()
 			batch = append(batch, batchOp{kind: op.Kind, key: op.Key, valLen: op.ValLen})
 		}
-		for _, b := range batch {
+		for i := 0; i < len(batch); i++ {
+			b := batch[i]
 			switch b.kind {
 			case workload.OpGet:
-				cl.QueueGet(b.key, false)
+				// Group this run of consecutive gets into one multi-key
+				// request, up to the configured width. The server expands
+				// responses per key in request order, so the index-aligned
+				// classification below still matches batch[j].
+				run := 1
+				if cfg.Multiget > 1 {
+					for i+run < len(batch) && run < cfg.Multiget &&
+						batch[i+run].kind == workload.OpGet {
+						run++
+					}
+				}
+				if run == 1 {
+					cl.QueueGet(b.key, false)
+				} else {
+					mkeys = mkeys[:0]
+					for _, g := range batch[i : i+run] {
+						mkeys = append(mkeys, g.key)
+					}
+					cl.QueueGetMulti(mkeys) // copies keys; mkeys is reusable
+				}
+				sizes[run]++
+				i += run - 1
 			case workload.OpSet:
 				n := b.valLen
 				if n > len(payload) {

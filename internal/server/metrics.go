@@ -1,6 +1,7 @@
 package server
 
 import (
+	"strconv"
 	"sync/atomic"
 
 	"znscache/internal/obs"
@@ -30,7 +31,29 @@ type metrics struct {
 	panics       stats.Counter // recovered handler panics (always a bug)
 	slowRequests stats.Counter // requests at or above SlowThreshold
 
+	batches        stats.Counter // executed pipeline batches
+	batchOps       stats.Counter // ops across all executed batches
+	dispatchPhases stats.Counter // conflict-free phases executed (sharded path)
+	dispatchGroups stats.Counter // shard write groups executed (sharded path)
+	// batchSizes is a histogram of ops-per-batch with bucket upper bounds
+	// batchSizeBounds (last bucket is +Inf): how much pipelining the serving
+	// path actually sees.
+	batchSizes [len(batchSizeBounds) + 1]stats.Counter
+
 	reqLatency *stats.Histogram // wall-clock request latency
+}
+
+// batchSizeBounds are the inclusive upper bounds of the batch-size buckets.
+var batchSizeBounds = [...]int{1, 2, 4, 8, 16, 32, 64, 128}
+
+func (m *metrics) observeBatchSize(n int) {
+	for i, b := range batchSizeBounds {
+		if n <= b {
+			m.batchSizes[i].Inc()
+			return
+		}
+	}
+	m.batchSizes[len(batchSizeBounds)].Inc()
 }
 
 func (m *metrics) init() {
@@ -57,5 +80,17 @@ func (s *Server) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	r.Counter("server_protocol_errors_total", "Malformed client commands", labels, &m.protoErrors)
 	r.Counter("server_panics_total", "Recovered request-handler panics", labels, &m.panics)
 	r.Counter("server_slow_requests_total", "Requests at or above the slow threshold", labels, &m.slowRequests)
+	r.Counter("server_batches_total", "Pipeline batches executed", labels, &m.batches)
+	r.Counter("server_batch_ops_total", "Requests across executed batches", labels, &m.batchOps)
+	r.Counter("server_dispatch_phases_total", "Conflict-free batch phases executed", labels, &m.dispatchPhases)
+	r.Counter("server_dispatch_groups_total", "Shard write groups executed", labels, &m.dispatchGroups)
+	for i := range m.batchSizes {
+		le := "+Inf"
+		if i < len(batchSizeBounds) {
+			le = strconv.Itoa(batchSizeBounds[i])
+		}
+		r.Counter("server_batch_size_bucket", "Batch-size distribution (ops per executed batch)",
+			labels.With("le", le), &m.batchSizes[i])
+	}
 	r.Histogram("server_request_latency", "Wall-clock request latency", labels, m.reqLatency)
 }

@@ -6,7 +6,6 @@ import (
 	"io"
 	"sort"
 	"strconv"
-	"strings"
 	"time"
 )
 
@@ -29,208 +28,23 @@ const (
 	relativeExpCutoff = 30 * 24 * 3600
 )
 
-// dispatch parses and serves one command line. It reports quit (clean
-// client-requested close) and fatal (the stream can no longer be trusted —
-// close this connection after flushing whatever error response was written).
-func (s *Server) dispatch(c *conn, br *bufio.Reader, bw *bufio.Writer, line []byte) (quit, fatal bool) {
-	args := strings.Fields(string(line))
-	if len(args) == 0 {
-		s.m.protoErrors.Inc()
-		bw.WriteString(respError) //nolint:errcheck
-		return false, false
-	}
-	switch args[0] {
-	case "get":
-		s.handleGet(bw, args[1:], false)
-	case "gets":
-		s.handleGet(bw, args[1:], true)
-	case "set":
-		return false, s.handleSet(c, br, bw, args[1:])
-	case "delete":
-		s.handleDelete(bw, args[1:])
-	case "stats":
-		s.m.other.Inc()
-		s.handleStats(bw)
-	case "version":
-		s.m.other.Inc()
-		bw.WriteString("VERSION " + Version + crlf) //nolint:errcheck
-	case "quit":
-		s.m.other.Inc()
-		return true, false
-	default:
-		s.m.other.Inc()
-		s.m.protoErrors.Inc()
-		bw.WriteString(respError) //nolint:errcheck
-	}
-	return false, false
-}
-
-// handleGet serves get/gets over one or more keys. Keys are validated before
-// any VALUE output so an error response is never spliced into a data stream.
-func (s *Server) handleGet(bw *bufio.Writer, keys []string, withCas bool) {
-	if len(keys) == 0 {
-		s.m.protoErrors.Inc()
-		bw.WriteString(respError) //nolint:errcheck
-		return
-	}
-	for _, k := range keys {
-		if !validKey(k) {
-			s.m.protoErrors.Inc()
-			writeClientError(bw, "bad key")
-			return
-		}
-	}
-	for _, k := range keys {
-		s.m.gets.Inc()
-		v, ok, err := s.cfg.Backend.Get(k)
-		if err != nil {
-			writeServerError(bw, err.Error())
-			return
-		}
-		if !ok {
-			s.m.getMisses.Inc()
-			continue
-		}
-		s.m.getHits.Inc()
-		flags, data := decodeValue(v)
-		bw.WriteString("VALUE ") //nolint:errcheck
-		bw.WriteString(k)        //nolint:errcheck
-		bw.WriteByte(' ')        //nolint:errcheck
-		writeUint(bw, uint64(flags))
-		bw.WriteByte(' ') //nolint:errcheck
-		writeUint(bw, uint64(len(data)))
-		if withCas {
-			bw.WriteByte(' ') //nolint:errcheck
-			writeUint(bw, casOf(data))
-		}
-		bw.WriteString(crlf) //nolint:errcheck
-		bw.Write(data)       //nolint:errcheck
-		bw.WriteString(crlf) //nolint:errcheck
-	}
-	bw.WriteString(respEnd) //nolint:errcheck
-}
-
-// handleSet serves "set <key> <flags> <exptime> <bytes> [noreply]" followed
-// by a <bytes>-long data chunk and CRLF. The bytes field is parsed first:
-// without it the stream cannot be resynced past the body, so a bad length is
-// fatal to the connection; every other malformed field is reported after the
-// body has been consumed and the connection survives.
-func (s *Server) handleSet(c *conn, br *bufio.Reader, bw *bufio.Writer, args []string) (fatal bool) {
-	s.m.sets.Inc()
-	if len(args) < 4 || len(args) > 5 {
-		s.m.protoErrors.Inc()
-		writeClientError(bw, "bad command line format")
-		return true
-	}
-	n, err := strconv.ParseUint(args[3], 10, 31)
-	if err != nil {
-		s.m.protoErrors.Inc()
-		writeClientError(bw, "bad data chunk length")
-		return true
-	}
-	noreply := len(args) == 5 && args[4] == "noreply"
-
-	if int(n) > s.cfg.MaxValueBytes {
-		// Swallow the declared body to stay in sync, then refuse (memcached
-		// keeps the connection for oversized objects).
-		if !s.discardBody(c, br, bw, int64(n)) {
-			return true
-		}
-		s.m.protoErrors.Inc()
-		if !noreply {
-			writeServerError(bw, "object too large for cache")
-		}
-		return false
-	}
-	body := make([]byte, int(n)+2)
-	if s.readBody(c, br, body) != nil {
-		return true // transport failure mid-body; nothing sane to reply
-	}
-	if body[n] != '\r' || body[n+1] != '\n' {
-		s.m.protoErrors.Inc()
-		writeClientError(bw, "bad data chunk")
-		return true
-	}
-	data := body[:n]
-
-	key := args[0]
-	flags, ferr := strconv.ParseUint(args[1], 10, 32)
-	exptime, eerr := strconv.ParseInt(args[2], 10, 64)
-	if !validKey(key) || ferr != nil || eerr != nil || (len(args) == 5 && !noreply) {
-		s.m.protoErrors.Inc()
-		if !noreply {
-			writeClientError(bw, "bad command line format")
-		}
-		return false
-	}
-
-	var serr error
-	switch {
-	case exptime == 0:
-		serr = s.cfg.Backend.Set(key, encodeValue(uint32(flags), data))
-	case exptime < 0:
-		// Already expired: memcached stores it invisible; deleting any
-		// previous value is observably identical.
-		s.cfg.Backend.Delete(key)
-	default:
-		ttl := expTTL(exptime)
-		if ttl <= 0 {
-			s.cfg.Backend.Delete(key)
-		} else {
-			serr = s.cfg.Backend.SetWithTTL(key, encodeValue(uint32(flags), data), ttl)
-		}
-	}
-	if serr != nil {
-		if !noreply {
-			writeServerError(bw, serr.Error())
-		}
-		return false
-	}
-	if !noreply {
-		bw.WriteString(respStored) //nolint:errcheck
-	}
-	return false
-}
-
-// handleDelete serves "delete <key> [noreply]".
-func (s *Server) handleDelete(bw *bufio.Writer, args []string) {
-	s.m.deletes.Inc()
-	noreply := len(args) == 2 && args[1] == "noreply"
-	if len(args) < 1 || len(args) > 2 || (len(args) == 2 && !noreply) || !validKey(args[0]) {
-		s.m.protoErrors.Inc()
-		if !noreply {
-			writeClientError(bw, "bad command line format")
-		}
-		return
-	}
-	found := s.cfg.Backend.Delete(args[0])
-	if noreply {
-		return
-	}
-	if found {
-		bw.WriteString(respDeleted) //nolint:errcheck
-	} else {
-		bw.WriteString(respNotFound) //nolint:errcheck
-	}
-}
-
 // handleStats serves the stats command: the server's own instruments in
 // memcached's classic names, then any StatsExtra lines sorted by name.
-func (s *Server) handleStats(bw *bufio.Writer) {
+func (s *Server) handleStats(w *respWriter) {
 	m := &s.m
-	writeStat(bw, "uptime_seconds", strconv.FormatInt(int64(time.Since(s.start).Seconds()), 10))
-	writeStat(bw, "curr_connections", strconv.FormatInt(m.connsOpen.Load(), 10))
-	writeStat(bw, "total_connections", strconv.FormatUint(m.connsTotal.Load(), 10))
-	writeStat(bw, "cmd_get", strconv.FormatUint(m.gets.Load(), 10))
-	writeStat(bw, "cmd_set", strconv.FormatUint(m.sets.Load(), 10))
-	writeStat(bw, "cmd_delete", strconv.FormatUint(m.deletes.Load(), 10))
-	writeStat(bw, "get_hits", strconv.FormatUint(m.getHits.Load(), 10))
-	writeStat(bw, "get_misses", strconv.FormatUint(m.getMisses.Load(), 10))
-	writeStat(bw, "curr_items", strconv.Itoa(s.cfg.Backend.Len()))
-	writeStat(bw, "bytes_read", strconv.FormatUint(m.bytesIn.Load(), 10))
-	writeStat(bw, "bytes_written", strconv.FormatUint(m.bytesOut.Load(), 10))
-	writeStat(bw, "protocol_errors", strconv.FormatUint(m.protoErrors.Load(), 10))
-	writeStat(bw, "slow_requests", strconv.FormatUint(m.slowRequests.Load(), 10))
+	writeStat(w, "uptime_seconds", strconv.FormatInt(int64(time.Since(s.start).Seconds()), 10))
+	writeStat(w, "curr_connections", strconv.FormatInt(m.connsOpen.Load(), 10))
+	writeStat(w, "total_connections", strconv.FormatUint(m.connsTotal.Load(), 10))
+	writeStat(w, "cmd_get", strconv.FormatUint(m.gets.Load(), 10))
+	writeStat(w, "cmd_set", strconv.FormatUint(m.sets.Load(), 10))
+	writeStat(w, "cmd_delete", strconv.FormatUint(m.deletes.Load(), 10))
+	writeStat(w, "get_hits", strconv.FormatUint(m.getHits.Load(), 10))
+	writeStat(w, "get_misses", strconv.FormatUint(m.getMisses.Load(), 10))
+	writeStat(w, "curr_items", strconv.Itoa(s.cfg.Backend.Len()))
+	writeStat(w, "bytes_read", strconv.FormatUint(m.bytesIn.Load(), 10))
+	writeStat(w, "bytes_written", strconv.FormatUint(m.bytesOut.Load(), 10))
+	writeStat(w, "protocol_errors", strconv.FormatUint(m.protoErrors.Load(), 10))
+	writeStat(w, "slow_requests", strconv.FormatUint(m.slowRequests.Load(), 10))
 	if s.cfg.StatsExtra != nil {
 		extra := s.cfg.StatsExtra()
 		names := make([]string, 0, len(extra))
@@ -239,10 +53,10 @@ func (s *Server) handleStats(bw *bufio.Writer) {
 		}
 		sort.Strings(names)
 		for _, name := range names {
-			writeStat(bw, name, extra[name])
+			writeStat(w, name, extra[name])
 		}
 	}
-	bw.WriteString(respEnd) //nolint:errcheck
+	w.str(respEnd)
 }
 
 // readBody fills buf from the connection under the read timeout. One
@@ -252,7 +66,12 @@ func (s *Server) handleStats(bw *bufio.Writer) {
 func (s *Server) readBody(c *conn, br *bufio.Reader, buf []byte) error {
 	read, retried := 0, false
 	for read < len(buf) {
-		c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) //nolint:errcheck
+		if br.Buffered() < len(buf)-read {
+			// The body is not fully buffered: the fill will touch the
+			// socket, so arm the deadline. Fully-buffered bodies (the
+			// pipelined common case) skip the timer update.
+			c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) //nolint:errcheck
+		}
 		n, err := io.ReadFull(br, buf[read:])
 		read += n
 		if err == nil {
@@ -268,22 +87,22 @@ func (s *Server) readBody(c *conn, br *bufio.Reader, buf []byte) error {
 }
 
 // discardBody swallows an oversized declared body (plus its CRLF) without
-// buffering it, reporting whether the stream stayed in sync.
-func (s *Server) discardBody(c *conn, br *bufio.Reader, bw *bufio.Writer, n int64) bool {
+// buffering it. ok reports whether the stream stayed in sync; badChunk
+// distinguishes a present-but-corrupt terminator (report "bad data chunk")
+// from a transport failure (close silently).
+func (s *Server) discardBody(c *conn, br *bufio.Reader, n int64) (ok, badChunk bool) {
 	c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) //nolint:errcheck
 	if _, err := io.CopyN(io.Discard, br, n); err != nil {
-		return false
+		return false, false
 	}
 	var term [2]byte
 	if s.readBody(c, br, term[:]) != nil {
-		return false
+		return false, false
 	}
 	if term[0] != '\r' || term[1] != '\n' {
-		s.m.protoErrors.Inc()
-		writeClientError(bw, "bad data chunk")
-		return false
+		return false, true
 	}
-	return true
+	return true, false
 }
 
 // expTTL converts a positive memcached exptime to a duration: values up to
@@ -299,7 +118,7 @@ func expTTL(exptime int64) time.Duration {
 
 // validKey applies memcached's key rules: 1..250 bytes, no whitespace or
 // control characters.
-func validKey(k string) bool {
+func validKey(k []byte) bool {
 	if len(k) == 0 || len(k) > maxKeyLen {
 		return false
 	}
@@ -346,20 +165,28 @@ func casOf(data []byte) uint64 {
 	return h
 }
 
-func writeClientError(bw *bufio.Writer, msg string) {
-	bw.WriteString("CLIENT_ERROR " + msg + crlf) //nolint:errcheck
+func writeClientError(w *respWriter, msg string) {
+	w.str("CLIENT_ERROR ")
+	w.str(msg)
+	w.str(crlf)
 }
 
-func writeServerError(bw *bufio.Writer, msg string) {
-	bw.WriteString("SERVER_ERROR " + msg + crlf) //nolint:errcheck
+func writeServerError(w *respWriter, msg string) {
+	w.str("SERVER_ERROR ")
+	w.str(msg)
+	w.str(crlf)
 }
 
-func writeStat(bw *bufio.Writer, name, value string) {
-	bw.WriteString("STAT " + name + " " + value + crlf) //nolint:errcheck
+func writeStat(w *respWriter, name, value string) {
+	w.str("STAT ")
+	w.str(name)
+	w.bytec(' ')
+	w.str(value)
+	w.str(crlf)
 }
 
-// writeUint renders u in decimal without fmt's reflection overhead — the
-// VALUE header is the hottest write in the server.
+// writeUint renders u in decimal without fmt's reflection overhead (used by
+// the client's request writer; the server side renders through respWriter).
 func writeUint(bw *bufio.Writer, u uint64) {
 	var tmp [20]byte
 	bw.Write(strconv.AppendUint(tmp[:0], u, 10)) //nolint:errcheck

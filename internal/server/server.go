@@ -139,13 +139,27 @@ const graceRead = 20 * time.Millisecond
 // on idle connections (a connection can slip back to idle after a poke).
 const pokeInterval = 25 * time.Millisecond
 
-// conn is one served connection.
+// conn is one served connection, including its reusable batch-serving state
+// (see dispatch.go): parsed-op batch, response ring, and the scratch used by
+// the shard-affinity dispatcher. All of it is touched only by the connection
+// goroutine (the WaitGroup synchronizes the shard workers' phase work).
 type conn struct {
 	nc    net.Conn
 	state atomic.Int32
 	// partial accumulates a command line across read deadlines: a deadline
 	// can fire mid-line, and bufio consumes the fragment into the caller.
 	partial []byte
+
+	fields [][]byte   // tokenizer scratch, aliases the current line
+	b      batch      // parsed ops awaiting the batch boundary
+	rw     respWriter // response ring, flushed once per batch
+	wg     sync.WaitGroup
+
+	// Shard-dispatch scratch (sharded backends only).
+	phaseW map[string]struct{} // keys written in the current phase
+	phaseR map[string]struct{} // keys read in the current phase
+	groups [][]int32           // per-shard op-index groups
+	active []int               // shards with a non-empty group
 }
 
 // Server is a memcached-protocol TCP server over a Backend.
@@ -161,6 +175,13 @@ type Server struct {
 	draining atomic.Bool
 	stop     chan struct{} // closed by Shutdown to unblock the accept loop
 	start    time.Time
+
+	// sharded is non-nil when Backend also implements ShardedBackend; it
+	// enables the phase-split shard-affinity dispatch path (dispatch.go).
+	sharded    ShardedBackend
+	shardQ     []chan shardTask
+	workerWG   sync.WaitGroup
+	workerOnce sync.Once
 
 	m metrics
 }
@@ -185,6 +206,10 @@ func New(cfg Config) (*Server, error) {
 		start: time.Now(),
 	}
 	s.m.init()
+	if sb, ok := cfg.Backend.(ShardedBackend); ok && sb.NumShards() > 0 {
+		s.sharded = sb
+		s.startWorkers(sb.NumShards())
+	}
 	return s, nil
 }
 
@@ -245,6 +270,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		// Every connection goroutine has exited, so no further shard
+		// dispatches can happen: the workers can be retired.
+		s.stopWorkers()
 		close(done)
 	}()
 	past := time.Unix(1, 0) // any past time expires the read immediately
@@ -292,15 +320,25 @@ func (s *Server) serveConn(c *conn) {
 		s.wg.Done()
 	}()
 
+	// Only reads flow through the counting wrapper: responses are written to
+	// the raw connection by flushResp (so net.Buffers reaches the TCPConn's
+	// writev) and counted there.
 	cc := &countConn{Conn: c.nc, in: &s.m.bytesIn, out: &s.m.bytesOut}
 	br := bufio.NewReaderSize(cc, s.cfg.MaxLineBytes)
-	bw := bufio.NewWriterSize(cc, 16<<10)
+	if s.sharded != nil {
+		c.groups = make([][]int32, s.sharded.NumShards())
+		c.phaseW = make(map[string]struct{}, 32)
+		c.phaseR = make(map[string]struct{}, 32)
+	}
 
 	for {
 		if br.Buffered() == 0 && len(c.partial) == 0 {
-			// Batch boundary: everything pipelined so far is answered, so
-			// this is the one flush the whole batch pays.
-			if s.flush(c, bw) != nil {
+			// Pipeline batch boundary: every command received so far is
+			// parsed, so execute the batch and pay the whole batch's one
+			// flush (the pipelining tests assert batching through the flush
+			// counter).
+			s.execBatch(c)
+			if s.flushResp(c) != nil {
 				return
 			}
 			if s.draining.Load() {
@@ -308,7 +346,11 @@ func (s *Server) serveConn(c *conn) {
 			}
 			c.state.Store(connIdle)
 			c.nc.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout)) //nolint:errcheck
-		} else {
+		} else if br.Buffered() == 0 {
+			// Mid-batch but the buffer ran dry: the next read touches the
+			// socket, so arm the stall deadline. While commands are still
+			// buffered the read never blocks and re-arming the deadline per
+			// command would just burn timer updates on the hot path.
 			c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) //nolint:errcheck
 		}
 		line, err := c.readCommand(br)
@@ -317,12 +359,18 @@ func (s *Server) serveConn(c *conn) {
 			switch {
 			case errors.Is(err, errLineTooLong):
 				s.m.protoErrors.Inc()
-				writeClientError(bw, "line too long")
-				s.flush(c, bw) //nolint:errcheck
+				s.execBatch(c)
+				writeClientError(&c.rw, "line too long")
+				s.flushResp(c) //nolint:errcheck
 				return
 			case isTimeout(err):
 				if !s.draining.Load() {
-					return // idle or stalled-sender timeout
+					// Idle or stalled-sender timeout. Anything parsed but
+					// unanswered (a batch cut short mid-line) is served
+					// before the close.
+					s.execBatch(c)
+					s.flushResp(c) //nolint:errcheck
+					return
 				}
 				// Draining: the expired deadline is usually the shutdown
 				// wakeup, but request bytes may have raced it. Give them one
@@ -332,43 +380,26 @@ func (s *Server) serveConn(c *conn) {
 				line, err = c.readCommand(br)
 				c.state.Store(connBusy)
 				if err != nil {
-					s.flush(c, bw) //nolint:errcheck
+					s.execBatch(c)
+					s.flushResp(c) //nolint:errcheck
 					return
 				}
 			default:
-				return // EOF or transport error
+				// EOF or transport error; answer whatever was pipelined in
+				// case only the client's send side is gone.
+				s.execBatch(c)
+				s.flushResp(c) //nolint:errcheck
+				return
 			}
 		}
-		started := time.Now()
-		quit, fatal := s.dispatch(c, br, bw, line)
-		lat := time.Since(started)
-		s.m.reqLatency.Observe(lat)
-		if s.cfg.SlowThreshold > 0 && lat >= s.cfg.SlowThreshold {
-			s.m.slowRequests.Inc()
-			s.cfg.Tracer.Emit(obs.Event{
-				T:      time.Since(s.start),
-				Type:   obs.EvSlowRequest,
-				Zone:   -1,
-				Region: -1,
-				Bytes:  int64(lat),
-			})
-		}
-		if quit || fatal {
-			s.flush(c, bw) //nolint:errcheck
+		switch s.parseCommand(c, br, line) {
+		case parseOK:
+		default: // quit or fatal: serve what's queued, flush, close
+			s.execBatch(c)
+			s.flushResp(c) //nolint:errcheck
 			return
 		}
 	}
-}
-
-// flush writes the buffered responses under the write deadline and counts
-// the flush (the pipelining tests assert batching through this counter).
-func (s *Server) flush(c *conn, bw *bufio.Writer) error {
-	if bw.Buffered() == 0 {
-		return nil
-	}
-	s.m.flushes.Inc()
-	c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
-	return bw.Flush()
 }
 
 // errLineTooLong marks a command line exceeding MaxLineBytes. The stream

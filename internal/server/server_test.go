@@ -86,6 +86,16 @@ func (b *mapBackend) Len() int {
 	return len(b.m)
 }
 
+// ttlState reads the TTL-tracking fields under the lock: the response
+// arriving at the client does not synchronize the test goroutine with the
+// serving goroutine in the Go memory model, so assertions must take the
+// backend's own mutex.
+func (b *mapBackend) ttlState() (time.Duration, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.lastTTL, b.ttlSets
+}
+
 // startServer runs a server over the backend and tears it down with the test.
 func startServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
@@ -325,15 +335,15 @@ func TestExptimeSemantics(t *testing.T) {
 	if _, err := cl.Set("rel", 0, 60, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if b.lastTTL != 60*time.Second {
-		t.Fatalf("relative exptime TTL = %v, want 60s", b.lastTTL)
+	if ttl, _ := b.ttlState(); ttl != 60*time.Second {
+		t.Fatalf("relative exptime TTL = %v, want 60s", ttl)
 	}
 	// Zero: plain set, no TTL call.
-	ttlSets := b.ttlSets
+	_, ttlSets := b.ttlState()
 	if _, err := cl.Set("zero", 0, 0, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if b.ttlSets != ttlSets {
+	if _, n := b.ttlState(); n != ttlSets {
 		t.Fatal("exptime 0 used SetWithTTL")
 	}
 	// Negative: already expired — observably deleted.
@@ -348,8 +358,8 @@ func TestExptimeSemantics(t *testing.T) {
 	if _, err := cl.Set("abs", 0, future, []byte("v")); err != nil {
 		t.Fatal(err)
 	}
-	if b.lastTTL < 59*time.Minute || b.lastTTL > 61*time.Minute {
-		t.Fatalf("absolute exptime TTL = %v, want ≈1h", b.lastTTL)
+	if ttl, _ := b.ttlState(); ttl < 59*time.Minute || ttl > 61*time.Minute {
+		t.Fatalf("absolute exptime TTL = %v, want ≈1h", ttl)
 	}
 	// Absolute past unix time: expired — deleted.
 	if _, err := cl.Set("past", 0, time.Now().Add(-time.Hour).Unix(), []byte("v")); err != nil {

@@ -11,14 +11,16 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
 // Clock is a virtual clock. Time only moves when a device model (or the
-// harness) advances it. Clock is safe for concurrent use.
+// harness) advances it. Clock is safe for concurrent use; Now is a single
+// atomic load so lock-free read paths can consult the clock without
+// serializing against writers that advance it.
 type Clock struct {
-	mu  sync.Mutex
-	now time.Duration
+	now atomic.Int64 // nanoseconds
 }
 
 // NewClock returns a clock positioned at time zero.
@@ -26,9 +28,7 @@ func NewClock() *Clock { return &Clock{} }
 
 // Now returns the current virtual time since the start of the simulation.
 func (c *Clock) Now() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return time.Duration(c.now.Load())
 }
 
 // Advance moves the clock forward by d and returns the new time.
@@ -37,10 +37,7 @@ func (c *Clock) Advance(d time.Duration) time.Duration {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative clock advance %v", d))
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.now += d
-	return c.now
+	return time.Duration(c.now.Add(int64(d)))
 }
 
 // AdvanceTo moves the clock to t if t is later than the current time and
@@ -48,12 +45,15 @@ func (c *Clock) Advance(d time.Duration) time.Duration {
 // busy resource: callers that must wait until a device is idle advance to
 // the device's free time.
 func (c *Clock) AdvanceTo(t time.Duration) time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t > c.now {
-		c.now = t
+	for {
+		cur := c.now.Load()
+		if int64(t) <= cur {
+			return time.Duration(cur)
+		}
+		if c.now.CompareAndSwap(cur, int64(t)) {
+			return t
+		}
 	}
-	return c.now
 }
 
 // Busy tracks the time at which a serially-shared resource (a flash channel,

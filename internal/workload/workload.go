@@ -141,9 +141,16 @@ func (e *ExpRange) Next() int64 {
 }
 
 // KeyName renders key index i in the fixed-width form both benchmarks use
-// (16-byte keys, matching the paper's db_bench configuration).
+// (16-byte keys, matching the paper's db_bench configuration). Hand-rolled
+// digit fill: this runs once per generated op, and fmt.Sprintf was the
+// loadgen's single hottest call.
 func KeyName(i int64) string {
-	return fmt.Sprintf("key-%012d", i)
+	b := [16]byte{'k', 'e', 'y', '-', '0', '0', '0', '0', '0', '0', '0', '0', '0', '0', '0', '0'}
+	for p := 15; p > 3 && i > 0; p-- {
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[:])
 }
 
 // BCConfig parameterizes the CacheBench-style generator.
@@ -185,12 +192,18 @@ func (c *BCConfig) fillDefaults() {
 	}
 }
 
+// internKeysUpTo caps the key-name intern table: key spaces at or below
+// this size reuse one string per key instead of allocating a fresh name
+// every op (a 1M-key table costs ~16 MB of headers, the break-even point).
+const internKeysUpTo = 1 << 20
+
 // BC is the CacheBench-style op generator.
 type BC struct {
 	cfg       BCConfig
 	rng       *sim.Rand
 	zipf      *Zipf
 	weightSum int
+	names     []string // lazy key-name interning (small key spaces only)
 }
 
 // NewBC builds the generator.
@@ -201,10 +214,28 @@ func NewBC(cfg BCConfig) *BC {
 		rng:  sim.NewRand(cfg.Seed + 1),
 		zipf: NewZipf(cfg.Keys, cfg.Theta, cfg.Seed+2),
 	}
+	if cfg.Keys <= internKeysUpTo {
+		b.names = make([]string, cfg.Keys)
+	}
 	for _, w := range cfg.ValueWeights {
 		b.weightSum += w
 	}
 	return b
+}
+
+// keyName is KeyName with interning: under a skewed popularity the same
+// hot keys recur constantly, and the per-op string allocation was the
+// generator's dominant cost once rendering itself was hand-rolled.
+func (b *BC) keyName(i int64) string {
+	if b.names == nil {
+		return KeyName(i)
+	}
+	s := b.names[i]
+	if s == "" {
+		s = KeyName(i)
+		b.names[i] = s
+	}
+	return s
 }
 
 // valueLen samples the object-size distribution.
@@ -230,11 +261,11 @@ func (b *BC) Next() Op {
 	r := b.rng.Intn(100)
 	switch {
 	case r < b.cfg.GetPct:
-		return Op{Kind: OpGet, Key: KeyName(b.zipf.Next()), ValLen: b.valueLen()}
+		return Op{Kind: OpGet, Key: b.keyName(b.zipf.Next()), ValLen: b.valueLen()}
 	case r < b.cfg.GetPct+b.cfg.SetPct:
-		return Op{Kind: OpSet, Key: KeyName(b.zipf.Next()), ValLen: b.valueLen()}
+		return Op{Kind: OpSet, Key: b.keyName(b.zipf.Next()), ValLen: b.valueLen()}
 	default:
-		return Op{Kind: OpDelete, Key: KeyName(b.rng.Int63n(b.cfg.Keys))}
+		return Op{Kind: OpDelete, Key: b.keyName(b.rng.Int63n(b.cfg.Keys))}
 	}
 }
 

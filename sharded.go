@@ -151,6 +151,20 @@ func (c *ShardedCache) Delete(key string) bool {
 // Len returns the number of cached items across all shards.
 func (c *ShardedCache) Len() int { return c.sh.Len() }
 
+// ExecShard runs fn against shard i's engine under that shard's write lock,
+// with the lock-free read path's deferred notes drained first. It is the
+// batch-dispatch hook the serving layer uses to apply a whole group of
+// mutations for one shard in a single critical section. fn must not retain
+// the engine past its return; returns ErrClosed without running fn on a
+// closed cache.
+func (c *ShardedCache) ExecShard(i int, fn func(*cache.Cache)) error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	c.sh.WithShard(i, fn)
+	return nil
+}
+
 // Drain completes all in-flight flushes on every shard.
 func (c *ShardedCache) Drain() { c.sh.Drain() }
 
@@ -247,6 +261,7 @@ func (c *ShardedCache) Reopen() (*ShardedCache, error) {
 			Store:        rig.Store,
 			Clock:        rig.Clock,
 			TrackValues:  c.cfg.TrackValues,
+			ReadIndex:    c.cfg.FastReads,
 			ReinsertHits: c.cfg.ReinsertHits,
 		}
 		// Mirror harness.Build's policy defaulting: the Navy-faithful FIFO

@@ -109,6 +109,13 @@ type Config struct {
 	// cache tracks only metadata (sizes, latencies, hit ratios) — the mode
 	// benchmarks use to keep memory flat.
 	TrackValues bool
+	// FastReads enables the engine's lock-free read index: Gets on a warm
+	// key are answered from an immutable DRAM copy without taking the shard
+	// lock (see internal/cache readindex.go). Values returned by Get must
+	// then be treated as read-only. Off by default so single-threaded
+	// experiment replays keep the classic exact accounting; the network
+	// serving layer turns it on.
+	FastReads bool
 	// Admission builds the engine's admission policy (nil admits
 	// everything). A factory rather than an instance so OpenSharded can
 	// build one independently-seeded instance per shard.
@@ -178,6 +185,7 @@ func Open(cfg Config) (*Cache, error) {
 		CoDesign:         cfg.CoDesign,
 		ReinsertHits:     cfg.ReinsertHits,
 		TrackValues:      cfg.TrackValues,
+		ReadIndex:        cfg.FastReads,
 		AdmissionFactory: cfg.Admission,
 		AdmissionSeed:    cfg.AdmissionSeed,
 	}
