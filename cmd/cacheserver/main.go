@@ -1,12 +1,17 @@
 // Command cacheserver serves a sharded znscache over the memcached text
 // protocol. It is the network face of the simulation: any memcached client
 // (or cmd/loadgen) can drive the paper's cache designs over TCP, with
-// metrics, event tracing, and a graceful shutdown that persists the cache
-// snapshot before exit.
+// metrics, request-stage spans, SLO burn tracking, event tracing, and a
+// graceful shutdown that persists the cache snapshot before exit.
 //
 // Shutdown ordering matters: on SIGINT/SIGTERM the server first drains
 // in-flight connections (server.Shutdown), and only then Closes the cache so
 // the snapshot covers every request that received a response.
+//
+// With -top, cacheserver is instead a live terminal dashboard: it polls the
+// /metrics endpoint named by -metrics-addr (of an already-running server)
+// and renders ops/s, hit ratio, stage latencies, zones, GC, and SLO burn in
+// place.
 package main
 
 import (
@@ -26,28 +31,74 @@ import (
 	"znscache/internal/server"
 )
 
+// options collects the flag values run needs.
+type options struct {
+	addr          string
+	scheme        string
+	shards        int
+	zones         int
+	cacheMiB      int64
+	admission     string
+	admitBudget   float64
+	maxConns      int
+	maxValue      int
+	idle          time.Duration
+	drain         time.Duration
+	metricsAddr   string
+	eventsFile    string
+	traceCap      int
+	slowMs        int
+	fastReads     bool
+	spanEvery     int
+	slowlogFile   string
+	sloSpec       string
+	sloProfileDir string
+}
+
 func main() {
-	var (
-		addr        = flag.String("addr", "127.0.0.1:11211", "listen address for the memcached protocol")
-		scheme      = flag.String("scheme", "region", "cache backend: block|file|zone|region")
-		shards      = flag.Int("shards", 4, "independent cache engines (key-hash partitioned)")
-		zones       = flag.Int("zones", 64, "simulated device zone count (split across shards)")
-		cacheMiB    = flag.Int64("cache-mib", 0, "cache capacity in MiB (default 80% of the device)")
-		admission   = flag.String("admission", "", "admission policy: all|prob:P|reject-first[:BITS,WINDOW]|dynamic-random[:WINDOW_MS]|frequency[:THRESHOLD]")
-		admitBudget = flag.Float64("admit-budget", 0, "device-write budget in bytes/simulated-second (for dynamic-random)")
-		maxConns    = flag.Int("max-conns", 1024, "connection limit; excess connections wait in the accept queue")
-		maxValue    = flag.Int("max-value", 1<<20, "largest accepted value in bytes")
-		idle        = flag.Duration("idle", 5*time.Minute, "idle connection timeout")
-		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown drain deadline")
-		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
-		eventsFile  = flag.String("events", "", "record slow-request events and write them as JSON to this file on exit")
-		traceCap    = flag.Int("trace-cap", obs.DefaultTraceCap, "event ring capacity for -events (newest kept)")
-		slowMs      = flag.Int("slow-ms", 50, "slow-request threshold in milliseconds for -events")
-		fastReads   = flag.Bool("fast-reads", true, "serve gets from the lock-free read index")
-		lockProf    = flag.Int("lock-profile", 0, "runtime mutex/block profiling rate for -metrics-addr pprof (0 disables)")
-		gogc        = flag.Int("gogc", 400, "GC target percentage (SetGCPercent); 0 leaves the runtime default")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:11211", "listen address for the memcached protocol")
+	flag.StringVar(&o.scheme, "scheme", "region", "cache backend: block|file|zone|region")
+	flag.IntVar(&o.shards, "shards", 4, "independent cache engines (key-hash partitioned)")
+	flag.IntVar(&o.zones, "zones", 64, "simulated device zone count (split across shards)")
+	flag.Int64Var(&o.cacheMiB, "cache-mib", 0, "cache capacity in MiB (default 80% of the device)")
+	flag.StringVar(&o.admission, "admission", "", "admission policy: all|prob:P|reject-first[:BITS,WINDOW]|dynamic-random[:WINDOW_MS]|frequency[:THRESHOLD]")
+	flag.Float64Var(&o.admitBudget, "admit-budget", 0, "device-write budget in bytes/simulated-second (for dynamic-random)")
+	flag.IntVar(&o.maxConns, "max-conns", 1024, "connection limit; excess connections wait in the accept queue")
+	flag.IntVar(&o.maxValue, "max-value", 1<<20, "largest accepted value in bytes")
+	flag.DurationVar(&o.idle, "idle", 5*time.Minute, "idle connection timeout")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown drain deadline")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
+	flag.StringVar(&o.eventsFile, "events", "", "record slow-request events and write them as JSON to this file on exit")
+	flag.IntVar(&o.traceCap, "trace-cap", obs.DefaultTraceCap, "event ring capacity for -events (newest kept)")
+	flag.IntVar(&o.slowMs, "slow-ms", 50, "slow-request threshold in milliseconds (-events trace and -span exemplar log)")
+	flag.BoolVar(&o.fastReads, "fast-reads", true, "serve gets from the lock-free read index")
+	flag.IntVar(&o.spanEvery, "span", 0, "request-stage spans: observe 1 in N batches into per-stage histograms (0 disables spans entirely)")
+	flag.StringVar(&o.slowlogFile, "slowlog", "", "write the slow-request exemplar log (stage breakdowns) as JSON to this file on exit; requires -span")
+	flag.StringVar(&o.sloSpec, "slo", "", `per-verb latency objectives, e.g. "get=2ms@0.999,set=10ms@0.99"`)
+	flag.StringVar(&o.sloProfileDir, "slo-profile-dir", "", "capture CPU+mutex pprof profiles into this directory on sustained SLO burn")
+	lockProf := flag.Int("lock-profile", 0, "runtime mutex/block profiling rate for -metrics-addr pprof (0 disables)")
+	gogc := flag.Int("gogc", 400, "GC target percentage (SetGCPercent); 0 leaves the runtime default")
+	top := flag.Bool("top", false, "live dashboard: poll -metrics-addr's /metrics and render serving headlines in place (starts no server)")
+	topInterval := flag.Duration("top-interval", 2*time.Second, "dashboard poll interval for -top")
 	flag.Parse()
+
+	if *top {
+		if o.metricsAddr == "" {
+			fmt.Fprintln(os.Stderr, "cacheserver: -top needs -metrics-addr pointing at a running server")
+			os.Exit(1)
+		}
+		err := obs.RunTop(obs.TopConfig{
+			URL:      "http://" + o.metricsAddr + "/metrics",
+			Interval: *topInterval,
+			Out:      os.Stdout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *gogc > 0 {
 		// A cache server's live heap is dominated by its fixed-size region
@@ -58,36 +109,67 @@ func main() {
 	if *lockProf > 0 {
 		obs.SetLockProfiling(*lockProf)
 	}
-	if err := run(*addr, *scheme, *shards, *zones, *cacheMiB, *admission, *admitBudget,
-		*maxConns, *maxValue, *idle, *drain, *metricsAddr, *eventsFile, *traceCap, *slowMs, *fastReads); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "cacheserver: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, schemeName string, shards, zones int, cacheMiB int64, admission string,
-	admitBudget float64, maxConns, maxValue int, idle, drain time.Duration,
-	metricsAddr, eventsFile string, traceCap, slowMs int, fastReads bool) error {
+func run(o options) error {
 	schemes := map[string]harness.Scheme{
 		"block": znscache.BlockCache, "file": znscache.FileCache,
 		"zone": znscache.ZoneCache, "region": znscache.RegionCache,
 	}
-	s, ok := schemes[schemeName]
+	s, ok := schemes[o.scheme]
 	if !ok {
-		return fmt.Errorf("unknown scheme %q", schemeName)
+		return fmt.Errorf("unknown scheme %q", o.scheme)
 	}
+
+	// The registry exists before the cache is built and is installed as the
+	// harness's global hook, so every layer of every shard's rig (cache_*,
+	// zns_*, middle_*, ...) registers at Build time — that is what makes the
+	// dashboard's zone and GC panels live, not just the server_* series.
+	reg := obs.NewRegistry()
+	harness.SetMetricsRegistry(reg)
+	defer harness.SetMetricsRegistry(nil)
+
+	// Request-stage spans: one recorder shared by the serving path (batch
+	// spans) and every shard engine (cache-stage observations).
+	var spans *obs.SpanRecorder
+	if o.spanEvery > 0 {
+		spans = obs.NewSpanRecorder(obs.SpanConfig{
+			SampleEvery:   o.spanEvery,
+			SlowThreshold: time.Duration(o.slowMs) * time.Millisecond,
+		})
+	} else if o.slowlogFile != "" {
+		return fmt.Errorf("-slowlog needs -span enabled")
+	}
+
+	var slo *obs.SLOTracker
+	if o.sloSpec != "" {
+		objectives, err := obs.ParseObjectives(o.sloSpec)
+		if err != nil {
+			return err
+		}
+		slo = obs.NewSLOTracker(obs.SLOConfig{
+			Objectives: objectives,
+			ProfileDir: o.sloProfileDir,
+		})
+	}
+
 	cfg := znscache.ShardedConfig{
 		Config: znscache.Config{
 			Scheme:      s,
-			Zones:       zones,
-			CacheBytes:  cacheMiB << 20,
-			TrackValues: true,      // the server returns real payloads
-			FastReads:   fastReads, // lock-free get path for the serving layer
+			Zones:       o.zones,
+			CacheBytes:  o.cacheMiB << 20,
+			TrackValues: true,        // the server returns real payloads
+			FastReads:   o.fastReads, // lock-free get path for the serving layer
+			Spans:       spans,
 		},
-		Shards: shards,
+		Shards: o.shards,
 	}
-	if admission != "" {
-		f, err := znscache.ParseAdmission(admission, admitBudget)
+	if o.admission != "" {
+		f, err := znscache.ParseAdmission(o.admission, o.admitBudget)
 		if err != nil {
 			return err
 		}
@@ -99,18 +181,20 @@ func run(addr, schemeName string, shards, zones int, cacheMiB int64, admission s
 	}
 
 	var tracer *obs.Tracer
-	if eventsFile != "" {
-		tracer = obs.NewTracer(traceCap)
+	if o.eventsFile != "" {
+		tracer = obs.NewTracer(o.traceCap)
 	}
 
 	srv, err := server.New(server.Config{
-		Addr:          addr,
+		Addr:          o.addr,
 		Backend:       c,
-		MaxConns:      maxConns,
-		MaxValueBytes: maxValue,
-		IdleTimeout:   idle,
+		MaxConns:      o.maxConns,
+		MaxValueBytes: o.maxValue,
+		IdleTimeout:   o.idle,
 		Tracer:        tracer,
-		SlowThreshold: time.Duration(slowMs) * time.Millisecond,
+		SlowThreshold: time.Duration(o.slowMs) * time.Millisecond,
+		Spans:         spans,
+		SLO:           slo,
 		StatsExtra: func() map[string]string {
 			st := c.Stats()
 			return map[string]string{
@@ -126,11 +210,12 @@ func run(addr, schemeName string, shards, zones int, cacheMiB int64, admission s
 		return err
 	}
 
-	reg := obs.NewRegistry()
 	srv.MetricsInto(reg, obs.L("job", "cacheserver"))
 	obs.LockMetricsInto(reg, obs.L("job", "cacheserver"))
-	if metricsAddr != "" {
-		ms, err := obs.StartServer(metricsAddr, reg)
+	slo.Start()
+	defer slo.Stop()
+	if o.metricsAddr != "" {
+		ms, err := obs.StartServer(o.metricsAddr, reg)
 		if err != nil {
 			return err
 		}
@@ -140,20 +225,20 @@ func run(addr, schemeName string, shards, zones int, cacheMiB int64, admission s
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve() }()
-	fmt.Fprintf(os.Stderr, "serving %s/%d-shard cache on %s\n", schemeName, shards, srv.Addr())
+	fmt.Fprintf(os.Stderr, "serving %s/%d-shard cache on %s\n", o.scheme, o.shards, srv.Addr())
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	select {
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "caught %v, draining (deadline %v)\n", sig, drain)
+		fmt.Fprintf(os.Stderr, "caught %v, draining (deadline %v)\n", sig, o.drain)
 	case err := <-errc:
 		return fmt.Errorf("serve: %w", err)
 	}
 
 	// Drain in-flight connections first, then snapshot: the snapshot must
 	// cover everything a client got a response for.
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	ctx, cancel := context.WithTimeout(context.Background(), o.drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "drain incomplete: %v (snapshotting anyway)\n", err)
@@ -163,9 +248,14 @@ func run(addr, schemeName string, shards, zones int, cacheMiB int64, admission s
 	}
 	fmt.Fprintf(os.Stderr, "cache snapshot persisted (%d shards)\n", len(c.Snapshots()))
 
-	if eventsFile != "" {
-		if err := writeEvents(eventsFile, tracer); err != nil {
+	if o.eventsFile != "" {
+		if err := writeEvents(o.eventsFile, tracer); err != nil {
 			return fmt.Errorf("events: %w", err)
+		}
+	}
+	if o.slowlogFile != "" {
+		if err := writeSlowLog(o.slowlogFile, spans); err != nil {
+			return fmt.Errorf("slowlog: %w", err)
 		}
 	}
 	return nil
@@ -187,5 +277,23 @@ func writeEvents(path string, tr *obs.Tracer) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d events retained, %d total)\n", path, len(tr.Events()), tr.Total())
+	return nil
+}
+
+// writeSlowLog dumps the slow-request exemplar ring as JSON.
+func writeSlowLog(path string, rec *obs.SpanRecorder) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rec.WriteSlowLog(f); err != nil {
+		f.Close() //nolint:errcheck
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d slow exemplars retained, %d total)\n",
+		path, len(rec.SlowRequests()), rec.SlowTotal())
 	return nil
 }

@@ -44,6 +44,7 @@ func main() {
 		sizes    = flag.String("value-sizes", "", "comma-separated object sizes in bytes (default 512,1024,4096,8192,16384)")
 		weights  = flag.String("value-weights", "", "comma-separated weights matching -value-sizes")
 		jsonDir  = flag.String("json", "", "write a BENCH_serve.json report into this directory")
+		progress = flag.Duration("progress", 0, "print a one-line readout (ops/s, p50/p99) every interval and record the per-interval timeline in the -json report (0 disables)")
 		gogc     = flag.Int("gogc", 400, "GC target percentage (SetGCPercent); 0 leaves the runtime default")
 	)
 	flag.Parse()
@@ -83,6 +84,8 @@ func main() {
 		Seed:         *seed,
 		FillOnMiss:   *fill,
 		Multiget:     *multiget,
+		Progress:     *progress,
+		ProgressW:    os.Stderr,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "loadgen: %v\n", err)
@@ -166,5 +169,25 @@ func toRow(r *server.LoadResult) harness.ServeRowJSON {
 		MaxNs:         r.Latency.Max.Nanoseconds(),
 		Multiget:      r.Multiget,
 		GetBatchSizes: r.GetBatchSizes,
+		Timeline:      toTimeline(r.Timeline),
 	}
+}
+
+// toTimeline converts the interval series to wire form (nil when progress
+// sampling was off, so the report field is omitted).
+func toTimeline(ts []server.IntervalStat) []harness.ServeIntervalJSON {
+	if len(ts) == 0 {
+		return nil
+	}
+	out := make([]harness.ServeIntervalJSON, len(ts))
+	for i, t := range ts {
+		out[i] = harness.ServeIntervalJSON{
+			TNs:   t.T.Nanoseconds(),
+			Ops:   t.Ops,
+			QPS:   t.QPS,
+			P50Ns: t.P50.Nanoseconds(),
+			P99Ns: t.P99.Nanoseconds(),
+		}
+	}
+	return out
 }

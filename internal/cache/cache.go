@@ -180,6 +180,11 @@ type Config struct {
 	// against it without the shard lock. Off by default — single-threaded
 	// replays keep the exact classic accounting; the serving layer opts in.
 	ReadIndex bool
+	// Spans, when non-nil, samples wall-clock engine stage timings
+	// (fast/locked gets, set publish, region flush, store I/O) into the
+	// recorder. The virtual clock is never touched, so replay determinism
+	// is unaffected; nil costs one pointer test per site.
+	Spans *obs.SpanRecorder
 }
 
 // defaultFillLogCap bounds the fill log unless Config.FillLogCap overrides
@@ -305,7 +310,8 @@ type Cache struct {
 	coldSet      []bool
 	coldSetValid bool
 
-	trace *obs.Tracer // nil when tracing is disabled
+	trace *obs.Tracer       // nil when tracing is disabled
+	spans *obs.SpanRecorder // nil when span sampling is disabled
 
 	// reads is the lock-free read index (nil unless Config.ReadIndex). All
 	// mutation of it happens on the engine's single-threaded side; see
@@ -397,6 +403,7 @@ func New(cfg Config) (*Cache, error) {
 		fillCap:       cfg.FillLogCap,
 		firstEvictSeq: noEvictSeq,
 		trace:         cfg.Trace,
+		spans:         cfg.Spans,
 	}
 	if cfg.ReadIndex {
 		c.reads = newReadIndex()
@@ -496,10 +503,32 @@ func (c *Cache) setInternal(key string, value []byte, valLen int, ttl time.Durat
 		c.trace.Emit(obs.Event{T: start, Type: obs.EvAdmit, Zone: -1, Region: -1, Bytes: size})
 	}
 
+	// Span sampling (wall clock only — the virtual clock below is never
+	// touched, so replays stay deterministic). Region rolls are timed on
+	// every roll (they are rare and are exactly the tail the paper chases);
+	// their duration is carved out of the sampled set_publish window so the
+	// two stages stay disjoint.
+	rec := c.spans
+	sampled := rec != nil && rec.SampleNow()
+	var w0 time.Time
+	if sampled {
+		w0 = time.Now()
+	}
+	var rollDur time.Duration
+
 	c.clock.Advance(c.cpu.IndexInsert)
 	// Roll the open region if the item does not fit.
 	if c.regions[c.open].fill+size > c.store.RegionSize() {
-		if err := c.rollRegion(); err != nil {
+		var r0 time.Time
+		if rec != nil {
+			r0 = time.Now()
+		}
+		err := c.rollRegion()
+		if rec != nil {
+			rollDur = time.Since(r0)
+			rec.Observe(obs.StageRegionFlush, rollDur)
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -514,6 +543,11 @@ func (c *Cache) setInternal(key string, value []byte, valLen int, ttl time.Durat
 	}
 	c.hostBytes.Add(uint64(size))
 	c.setLat.Observe(c.clock.Now() - start)
+	if sampled {
+		if d := time.Since(w0) - rollDur; d > 0 {
+			rec.Observe(obs.StageSetPublish, d)
+		}
+	}
 	return nil
 }
 
@@ -604,6 +638,20 @@ func (c *Cache) retryStore(op func(now time.Duration) (time.Duration, error)) (t
 		c.clock.Advance(backoff)
 		backoff *= 2
 	}
+}
+
+// sampledRetryStore is retryStore plus span sampling: 1-in-N calls also
+// observe the operation's wall-clock cost (simulator compute — device
+// latency lives on the virtual clock) as the store_io stage.
+func (c *Cache) sampledRetryStore(op func(now time.Duration) (time.Duration, error)) (time.Duration, error) {
+	rec := c.spans
+	if rec == nil || !rec.SampleNow() {
+		return c.retryStore(op)
+	}
+	w0 := time.Now()
+	lat, err := c.retryStore(op)
+	rec.Observe(obs.StageStoreIO, time.Since(w0))
+	return lat, err
 }
 
 // regionFailed charges one exhausted-retry failure to region id and reports
@@ -709,9 +757,18 @@ func (c *Cache) rollRegion() error {
 	}
 
 	now := c.clock.Now()
+	// Every flush write observes its wall-clock store_io cost (rolls are too
+	// rare for 1-in-N sampling to see them).
+	var w0 time.Time
+	if c.spans != nil {
+		w0 = time.Now()
+	}
 	lat, err := c.retryStore(func(t time.Duration) (time.Duration, error) {
 		return c.store.WriteRegion(t, id, m.buf)
 	})
+	if c.spans != nil {
+		c.spans.Observe(obs.StageStoreIO, time.Since(w0))
+	}
 	if err != nil {
 		// Availability first, CacheLib-style: a flush that keeps failing
 		// loses the buffer's keys (misses, accounted below — never wrong
@@ -1004,7 +1061,7 @@ func (c *Cache) Get(key string) ([]byte, bool, error) {
 			pv = c.getScratch(n)
 			p = *pv
 		}
-		lat, err := c.retryStore(func(t time.Duration) (time.Duration, error) {
+		lat, err := c.sampledRetryStore(func(t time.Duration) (time.Duration, error) {
 			return c.store.ReadRegion(t, int(e.region), p, n, alignedStart)
 		})
 		if err != nil {

@@ -157,12 +157,28 @@ func (s *Sharded) SetTTL(key string, value []byte, valLen int, ttl time.Duration
 // back to the classic path under the shard write lock.
 func (s *Sharded) Get(key string) ([]byte, bool, error) {
 	sh := &s.shards[s.ShardFor(key)]
+	// Span sampling: 1-in-N gets time the path taken (lock-free fast path
+	// vs locked fallback) on the wall clock. The sampling decision is one
+	// atomic add; unsampled gets touch no clock.
+	rec := sh.c.spans
+	sampled := rec != nil && rec.SampleNow()
+	var w0 time.Time
+	if sampled {
+		w0 = time.Now()
+	}
 	if val, found, done := sh.c.TryFastGet(key); done {
+		if sampled {
+			rec.Observe(obs.StageFastGet, time.Since(w0))
+		}
 		return val, found, nil
 	}
 	sh.lock()
 	defer sh.mu.Unlock()
-	return sh.c.Get(key)
+	val, found, err := sh.c.Get(key)
+	if sampled {
+		rec.Observe(obs.StageLockedGet, time.Since(w0))
+	}
+	return val, found, err
 }
 
 // Contains reports whether key is present (TTL-expired items count as

@@ -200,6 +200,19 @@ type ServeRowJSON struct {
 	// report shows the batch-size distribution the server actually saw.
 	Multiget      int            `json:"multiget,omitempty"`
 	GetBatchSizes map[int]uint64 `json:"get_batch_sizes,omitempty"`
+	// Timeline is the per-interval latency series captured when the loadgen
+	// ran with progress sampling on (absent otherwise). Intervals are
+	// disjoint; percentiles are interval-local.
+	Timeline []ServeIntervalJSON `json:"timeline,omitempty"`
+}
+
+// ServeIntervalJSON is one loadgen progress interval in wire form.
+type ServeIntervalJSON struct {
+	TNs   int64   `json:"t_ns"` // interval end, from run start
+	Ops   uint64  `json:"ops"`  // requests completed in the interval
+	QPS   float64 `json:"qps"`
+	P50Ns int64   `json:"p50_ns"`
+	P99Ns int64   `json:"p99_ns"`
 }
 
 // AdmissionRowJSON is AdmissionRow in wire form.

@@ -168,6 +168,9 @@ type RigConfig struct {
 	// back to the process-wide tracer installed with SetTracer (nil there too
 	// disables tracing).
 	Trace *obs.Tracer
+	// Spans samples wall-clock engine stage timings into the recorder (the
+	// serving layer's request-stage spans); nil disables sampling.
+	Spans *obs.SpanRecorder
 	// Faults threads a fault injector under the scheme's devices. Nil falls
 	// back to the process-wide config installed with SetFaultConfig (nil
 	// there too runs fault-free). The injector is exposed as Rig.Faults.
@@ -457,6 +460,7 @@ func Build(cfg RigConfig) (*Rig, error) {
 		ReinsertHits:     cfg.ReinsertHits,
 		Clock:            cfg.Clock,
 		Trace:            cfg.Trace,
+		Spans:            cfg.Spans,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: engine: %w", err)

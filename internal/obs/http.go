@@ -52,12 +52,16 @@ type Server struct {
 
 // StartServer listens on addr (e.g. ":8080" or "127.0.0.1:0") and serves the
 // exposition mux in a background goroutine. The caller owns shutdown via
-// Close; bench binaries typically let process exit take it down.
+// Close; bench binaries typically let process exit take it down. Go runtime
+// telemetry (GC pauses, heap bytes, goroutines, GOGC) registers on reg here,
+// so every binary that exposes a -metrics-addr exports it without its own
+// wiring.
 func StartServer(addr string, reg *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
 	}
+	RuntimeMetricsInto(reg, nil)
 	s := &Server{ln: ln, srv: &http.Server{Handler: NewMux(reg)}}
 	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
 	return s, nil

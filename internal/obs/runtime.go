@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// Go runtime telemetry via runtime/metrics, registered automatically by
+// StartServer so every binary that takes -metrics-addr exports it: GC pause
+// distribution, heap bytes, goroutine count, GOGC, GC cycle count. Samples
+// are read at most once per runtimeSampleInterval per scrape, so a tight
+// scrape loop cannot turn the runtime read into overhead.
+
+const runtimeSampleInterval = time.Second
+
+var runtimeNames = []string{
+	"/sched/goroutines:goroutines",
+	"/memory/classes/heap/objects:bytes",
+	"/gc/heap/goal:bytes",
+	"/gc/gogc:percent",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds",
+}
+
+// runtimeSampler caches one runtime/metrics read per interval.
+type runtimeSampler struct {
+	mu      sync.Mutex
+	last    time.Time
+	samples []metrics.Sample
+}
+
+func newRuntimeSampler() *runtimeSampler {
+	s := &runtimeSampler{samples: make([]metrics.Sample, len(runtimeNames))}
+	for i, n := range runtimeNames {
+		s.samples[i].Name = n
+	}
+	return s
+}
+
+// value returns sample i as a float64, refreshing the whole sample set when
+// the cache is stale. Histogram-kind samples reduce via reduce (nil → 0).
+func (s *runtimeSampler) value(i int, reduce func(*metrics.Float64Histogram) float64) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now := time.Now(); now.Sub(s.last) >= runtimeSampleInterval {
+		metrics.Read(s.samples)
+		s.last = now
+	}
+	switch sm := s.samples[i]; sm.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(sm.Value.Uint64())
+	case metrics.KindFloat64:
+		return sm.Value.Float64()
+	case metrics.KindFloat64Histogram:
+		if reduce != nil {
+			return reduce(sm.Value.Float64Histogram())
+		}
+	}
+	return 0
+}
+
+// histQuantile returns the q-quantile upper bucket bound of a runtime
+// histogram, in seconds. 0 for an empty histogram.
+func histQuantile(h *metrics.Float64Histogram, q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= rank {
+			// Bucket i spans Buckets[i]..Buckets[i+1]; report the upper
+			// bound, clamping the +Inf tail to the last finite edge.
+			ub := h.Buckets[i+1]
+			if math.IsInf(ub, 1) {
+				ub = h.Buckets[i]
+			}
+			return ub
+		}
+	}
+	return h.Buckets[len(h.Buckets)-1]
+}
+
+// RuntimeMetricsInto registers Go runtime telemetry on reg. It is invoked by
+// StartServer for every -metrics-addr binary; call it directly only for a
+// registry that never passes through StartServer.
+func RuntimeMetricsInto(reg *Registry, labels Labels) {
+	s := newRuntimeSampler()
+	gauges := []struct {
+		idx  int
+		name string
+		help string
+	}{
+		{0, "go_goroutines", "Live goroutines"},
+		{1, "go_heap_objects_bytes", "Bytes of live heap objects"},
+		{2, "go_gc_heap_goal_bytes", "Heap size target of the next GC cycle"},
+		{3, "go_gogc_percent", "GOGC in effect"},
+	}
+	for _, g := range gauges {
+		idx := g.idx
+		reg.Gauge(g.name, g.help, labels, func() float64 { return s.value(idx, nil) })
+	}
+	reg.CounterFunc("go_gc_cycles_total", "Completed GC cycles", labels,
+		func() uint64 { return uint64(s.value(4, nil)) })
+	for _, q := range []struct {
+		q     float64
+		label string
+	}{{0.5, "0.5"}, {0.99, "0.99"}, {1, "1"}} {
+		q := q
+		reg.Gauge("go_gc_pause_seconds", "GC stop-the-world pause quantile since process start",
+			labels.With("quantile", q.label),
+			func() float64 {
+				return s.value(5, func(h *metrics.Float64Histogram) float64 {
+					return histQuantile(h, q.q)
+				})
+			})
+	}
+}

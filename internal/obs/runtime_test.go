@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+	"strings"
+	"testing"
+)
+
+func TestRuntimeMetricsIntoValues(t *testing.T) {
+	reg := NewRegistry()
+	RuntimeMetricsInto(reg, L("job", "test"))
+	got := map[string]float64{}
+	for _, s := range reg.Gather() {
+		if s.Labels.Get("job") != "test" {
+			t.Fatalf("runtime sample lost its labels: %+v", s)
+		}
+		got[s.Name] += s.Value
+	}
+	if got["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %v, want ≥ 1", got["go_goroutines"])
+	}
+	if got["go_heap_objects_bytes"] <= 0 {
+		t.Fatalf("go_heap_objects_bytes = %v, want > 0", got["go_heap_objects_bytes"])
+	}
+	if got["go_gogc_percent"] <= 0 {
+		t.Fatalf("go_gogc_percent = %v, want > 0", got["go_gogc_percent"])
+	}
+}
+
+func TestRuntimeMetricsExposition(t *testing.T) {
+	reg := NewRegistry()
+	RuntimeMetricsInto(reg, nil)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"go_goroutines", "go_heap_objects_bytes", "go_gc_heap_goal_bytes",
+		"go_gogc_percent", "go_gc_cycles_total",
+		`go_gc_pause_seconds{quantile="0.5"}`,
+		`go_gc_pause_seconds{quantile="0.99"}`,
+		`go_gc_pause_seconds{quantile="1"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestHistQuantile(t *testing.T) {
+	if histQuantile(nil, 0.5) != 0 {
+		t.Fatal("nil histogram should reduce to 0")
+	}
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{0, 0},
+		Buckets: []float64{0, 1, 2},
+	}
+	if histQuantile(h, 0.5) != 0 {
+		t.Fatal("empty histogram should reduce to 0")
+	}
+	// 10 samples in [0,1), 90 in [1,2): p50 and p99 land in the second
+	// bucket, p0.05 in the first.
+	h.Counts = []uint64{10, 90}
+	if got := histQuantile(h, 0.05); got != 1 {
+		t.Fatalf("p5 = %v, want upper bound 1", got)
+	}
+	if got := histQuantile(h, 0.99); got != 2 {
+		t.Fatalf("p99 = %v, want upper bound 2", got)
+	}
+	// A +Inf tail clamps to the last finite edge.
+	h = &metrics.Float64Histogram{
+		Counts:  []uint64{1, 1},
+		Buckets: []float64{0, 1, math.Inf(1)},
+	}
+	if got := histQuantile(h, 1); got != 1 {
+		t.Fatalf("p100 with +Inf tail = %v, want clamp to 1", got)
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"znscache/internal/stats"
+)
+
+// TestParsePromTextRoundTrip feeds the parser the registry's own exposition:
+// whatever WritePrometheus emits, the dashboard must read back exactly.
+func TestParsePromTextRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	var c stats.Counter
+	c.Add(41)
+	reg.Counter("server_ops_total", "ops", L("verb", "get"), &c)
+	reg.Gauge("zns_open_zones", "open", nil, func() float64 { return 3 })
+	h := stats.NewHistogram()
+	h.Observe(time.Millisecond)
+	reg.Histogram("server_stage_latency", "stages", L("stage", "exec"), h)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ParsePromText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := snap.Value("server_ops_total", "verb", "get"); !ok || v != 41 {
+		t.Fatalf("server_ops_total{verb=get} = %v, %v", v, ok)
+	}
+	if v, ok := snap.Value("zns_open_zones"); !ok || v != 3 {
+		t.Fatalf("zns_open_zones = %v, %v", v, ok)
+	}
+	if v, ok := snap.Value("server_stage_latency_count", "stage", "exec"); !ok || v != 1 {
+		t.Fatalf("stage count = %v, %v", v, ok)
+	}
+	if _, ok := snap.Value("server_stage_latency", "stage", "exec", "quantile", "0.99"); !ok {
+		t.Fatal("quantile series did not round-trip")
+	}
+	if sum := snap.Sum("server_ops_total"); sum != 41 {
+		t.Fatalf("Sum = %v", sum)
+	}
+}
+
+func TestParsePromTextMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"justaname",
+		"name{unclosed 3",
+		"name notanumber",
+	} {
+		if _, err := ParsePromText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParsePromText(%q) accepted", bad)
+		}
+	}
+	// Comments and blanks are fine.
+	snap, err := ParsePromText(strings.NewReader("# HELP x y\n\nx 1\n"))
+	if err != nil || len(snap.Samples) != 1 {
+		t.Fatalf("comment handling: %v, %+v", err, snap)
+	}
+}
+
+// renderSnap builds a snapshot from name/label/value triples for RenderTop.
+func renderSnap(at time.Time, samples ...PromSample) *PromSnapshot {
+	return &PromSnapshot{At: at, Samples: samples}
+}
+
+func TestRenderTopComputesRates(t *testing.T) {
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	prev := renderSnap(t0,
+		PromSample{Name: "server_ops_total", Labels: map[string]string{"verb": "get"}, Value: 1000},
+		PromSample{Name: "server_get_hits_total", Value: 600},
+		PromSample{Name: "server_get_misses_total", Value: 400},
+	)
+	cur := renderSnap(t0.Add(2*time.Second),
+		PromSample{Name: "server_ops_total", Labels: map[string]string{"verb": "get"}, Value: 3000},
+		PromSample{Name: "server_get_hits_total", Value: 1400},
+		PromSample{Name: "server_get_misses_total", Value: 600},
+		PromSample{Name: "server_connections_open", Value: 7},
+		PromSample{Name: "server_stage_latency_count", Labels: map[string]string{"stage": "exec"}, Value: 50},
+		PromSample{Name: "server_stage_latency", Labels: map[string]string{"stage": "exec", "quantile": "0.5"}, Value: 0.001},
+		PromSample{Name: "server_stage_latency", Labels: map[string]string{"stage": "exec", "quantile": "0.99"}, Value: 0.004},
+		PromSample{Name: "zns_open_zones", Value: 4},
+		PromSample{Name: "slo_burn_rate", Labels: map[string]string{"verb": "get"}, Value: 1.25},
+		PromSample{Name: "go_goroutines", Value: 12},
+	)
+	var buf bytes.Buffer
+	RenderTop(&buf, "http://x/metrics", prev, cur)
+	out := buf.String()
+	for _, want := range []string{
+		"ops/s 1000",   // (3000-1000)/2s
+		"hit 0.800",    // interval hits 800 / lookups 1000
+		"exec",         // stage row present
+		"1.00ms",       // exec p50
+		"zones open 4", // device panel
+		"slo burn  get 1.25",
+		"goroutines 12",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("frame missing %q:\n%s", want, out)
+		}
+	}
+	// First frame has no rates.
+	buf.Reset()
+	RenderTop(&buf, "http://x/metrics", nil, cur)
+	if !strings.Contains(buf.String(), "ops/s -") {
+		t.Fatalf("first frame should render '-' rates:\n%s", buf.String())
+	}
+}
+
+func TestRenderTopSkipsEmptyStages(t *testing.T) {
+	cur := renderSnap(time.Now(),
+		PromSample{Name: "server_stage_latency_count", Labels: map[string]string{"stage": "exec"}, Value: 0},
+	)
+	var buf bytes.Buffer
+	RenderTop(&buf, "u", nil, cur)
+	if strings.Contains(buf.String(), "server stages") {
+		t.Fatalf("stage panel rendered with zero samples:\n%s", buf.String())
+	}
+}
+
+func TestRunTopAgainstLiveEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	var ops stats.Counter
+	reg.Counter("server_ops_total", "ops", nil, &ops)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ops.Add(100)
+		reg.WritePrometheus(w) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	var buf bytes.Buffer
+	err := RunTop(TopConfig{
+		URL:      srv.URL,
+		Interval: 10 * time.Millisecond,
+		Out:      &buf,
+		Frames:   3,
+		Plain:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if got := strings.Count(out, "znscache top"); got != 3 {
+		t.Fatalf("rendered %d frames, want 3:\n%s", got, out)
+	}
+	if strings.Contains(out, "\x1b[") {
+		t.Fatal("Plain mode emitted ANSI control sequences")
+	}
+}
+
+func TestRunTopFailsAfterTwoScrapeErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	err := RunTop(TopConfig{URL: srv.URL, Interval: 5 * time.Millisecond, Out: &bytes.Buffer{}})
+	if err == nil {
+		t.Fatal("RunTop kept polling a broken endpoint")
+	}
+}

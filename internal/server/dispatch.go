@@ -6,6 +6,7 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"znscache/internal/cache"
@@ -202,13 +203,18 @@ func (w *respWriter) reset() {
 }
 
 // shardTask is one shard's write group from one batch, executed by that
-// shard's worker goroutine.
+// shard's worker goroutine. enq/qw are set only with spans enabled: the
+// worker folds this group's queue wait into qw as a running max (groups of
+// one batch wait concurrently, so the batch's queue-wait stage is the
+// longest individual wait, not the sum).
 type shardTask struct {
 	s     *Server
 	b     *batch
 	ops   []int32
 	shard int
 	wg    *sync.WaitGroup
+	enq   time.Time
+	qw    *atomic.Int64
 }
 
 // startWorkers launches one worker goroutine per shard. Each worker applies
@@ -223,6 +229,15 @@ func (s *Server) startWorkers(n int) {
 		go func() {
 			defer s.workerWG.Done()
 			for t := range ch {
+				if t.qw != nil {
+					w := int64(time.Since(t.enq))
+					for {
+						cur := t.qw.Load()
+						if w <= cur || t.qw.CompareAndSwap(cur, w) {
+							break
+						}
+					}
+				}
 				t.s.execShardGroup(t.b, t.shard, t.ops)
 				t.wg.Done()
 			}
@@ -451,8 +466,69 @@ func (s *Server) execBatch(c *conn) {
 	} else {
 		s.execInline(b)
 	}
-	s.renderBatch(c, b, time.Since(started))
+	lat := time.Since(started)
+	if s.spans != nil {
+		s.spanExec(c, b, lat)
+	}
+	s.renderBatch(c, b, lat)
 	b.reset()
+}
+
+// spanExec folds one executed batch into the connection's span. The
+// execution window splits as queue_wait (longest shard-group queue wait,
+// recorded by the workers into c.qwait) plus exec (everything else), so
+// queue_wait + exec always equals the batch's server_request_latency
+// observation exactly. The first op of the pipeline batch supplies the
+// slow-request exemplar identity.
+func (s *Server) spanExec(c *conn, b *batch, lat time.Duration) {
+	qw := time.Duration(c.qwait.Swap(0))
+	if qw > lat {
+		qw = lat
+	}
+	c.sp.Add(obs.StageQueueWait, qw)
+	c.sp.Add(obs.StageExec, lat-qw)
+	c.spExec += lat
+	if c.spanOps == 0 {
+		o := &b.ops[0]
+		switch o.kind {
+		case opGet:
+			c.spanVerb = "get"
+			c.spanKey = b.keys[o.k0]
+			if s.sharded != nil {
+				c.spanShard = int32(s.sharded.ShardFor(c.spanKey))
+			}
+		case opSet:
+			c.spanVerb = "set"
+			c.spanKey = o.key
+			c.spanShard = o.shard
+		case opDel:
+			c.spanVerb = "delete"
+			c.spanKey = o.key
+			c.spanShard = o.shard
+		default:
+			c.spanVerb = "other"
+		}
+	}
+	c.spanOps += len(b.ops)
+}
+
+// finishSpan settles the connection's span at the pipeline batch boundary
+// (after the flush). Outside a span-enabled server, or when nothing
+// executed since the last settle, it is a no-op.
+func (s *Server) finishSpan(c *conn) {
+	rec := s.spans
+	if rec == nil || c.spanOps == 0 {
+		return
+	}
+	rec.Settle(&c.sp, rec.SampleNow(), obs.SlowRequest{
+		Verb:     c.spanVerb,
+		Key:      c.spanKey,
+		Shard:    int(c.spanShard),
+		BatchOps: c.spanOps,
+	})
+	c.sp.Reset()
+	c.spanOps = 0
+	c.spanVerb, c.spanKey, c.spanShard = "", "", 0
 }
 
 // execInline serves a non-sharded backend: ops run one at a time in request
@@ -560,12 +636,18 @@ func (s *Server) execPhase(c *conn, b *batch, lo, hi int) {
 		if !hasGets {
 			inlineGroup = active[len(active)-1]
 		}
+		var enq time.Time
+		var qw *atomic.Int64
+		if s.spans != nil {
+			enq = time.Now()
+			qw = &c.qwait
+		}
 		for _, sh := range active {
 			if sh == inlineGroup {
 				continue
 			}
 			c.wg.Add(1)
-			s.shardQ[sh] <- shardTask{s: s, b: b, ops: c.groups[sh], shard: sh, wg: &c.wg}
+			s.shardQ[sh] <- shardTask{s: s, b: b, ops: c.groups[sh], shard: sh, wg: &c.wg, enq: enq, qw: qw}
 			dispatched++
 		}
 	}
@@ -641,9 +723,17 @@ func (s *Server) renderBatch(c *conn, b *batch, lat time.Duration) {
 	m.batchOps.Add(uint64(len(b.ops)))
 	m.observeBatchSize(len(b.ops))
 	slow := s.cfg.SlowThreshold > 0 && lat >= s.cfg.SlowThreshold
+	var nGet, nSet, nDel int
 	for i := range b.ops {
 		o := &b.ops[i]
-		m.reqLatency.Observe(lat)
+		switch o.kind {
+		case opGet:
+			nGet++
+		case opSet:
+			nSet++
+		case opDel:
+			nDel++
+		}
 		if slow {
 			m.slowRequests.Inc()
 			s.cfg.Tracer.Emit(obs.Event{
@@ -683,6 +773,16 @@ func (s *Server) renderBatch(c *conn, b *batch, lat time.Duration) {
 			w.str(o.msg)
 		}
 	}
+	// Every request in a batch observes the batch's execution latency — the
+	// client-visible shape of pipelined serving — batched as one histogram
+	// lock round trip per verb instead of one per op.
+	m.reqLatency.ObserveN(lat, len(b.ops))
+	m.reqLatVerb[verbGet].ObserveN(lat, nGet)
+	m.reqLatVerb[verbSet].ObserveN(lat, nSet)
+	m.reqLatVerb[verbDelete].ObserveN(lat, nDel)
+	s.sloGet.ObserveN(lat, nGet)
+	s.sloSet.ObserveN(lat, nSet)
+	s.sloDel.ObserveN(lat, nDel)
 }
 
 // renderGet writes one get/gets response: VALUE blocks for the hits in
@@ -725,6 +825,9 @@ func (s *Server) renderGet(w *respWriter, b *batch, o *op) {
 func (s *Server) flushResp(c *conn) error {
 	w := &c.rw
 	if w.empty() {
+		// A noreply-only batch produces no bytes but still executed: the
+		// span settles here all the same.
+		s.finishSpan(c)
 		return nil
 	}
 	s.m.flushes.Inc()
@@ -737,11 +840,19 @@ func (s *Server) flushResp(c *conn) error {
 		}
 	}
 	c.nc.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout)) //nolint:errcheck
+	var t0 time.Time
+	if s.spans != nil {
+		t0 = time.Now()
+	}
 	n, err := w.bufs.WriteTo(c.nc)
+	if s.spans != nil {
+		c.sp.Add(obs.StageFlush, time.Since(t0))
+	}
 	if n > 0 {
 		s.m.bytesOut.Add(uint64(n))
 	}
 	w.reset()
+	s.finishSpan(c)
 	return err
 }
 

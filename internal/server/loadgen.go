@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +52,14 @@ type LoadConfig struct {
 	// get goes out as its own command. Grouping reduces parse overhead and
 	// lets the server serve the whole group from one read pass.
 	Multiget int
+	// Progress > 0 samples the run into intervals of this length: each
+	// interval's throughput and interval-local p50/p99 are appended to
+	// LoadResult.Timeline, and a one-line readout is written to ProgressW as
+	// the run goes. Zero disables both (no interval histogram is maintained).
+	Progress time.Duration
+	// ProgressW receives the periodic readout lines; nil keeps the timeline
+	// but prints nothing.
+	ProgressW io.Writer
 }
 
 func (c *LoadConfig) fillDefaults() {
@@ -94,6 +103,25 @@ type LoadResult struct {
 	// carried: GetBatchSizes[n] multi-key gets went out with n keys each
 	// (n == 1 means a plain single-key get). Empty when no gets were sent.
 	GetBatchSizes map[int]uint64
+
+	// Timeline holds one entry per LoadConfig.Progress interval (nil when
+	// progress sampling was off). Intervals are disjoint: each entry's
+	// latency percentiles cover only the requests completed in that window,
+	// so the series shows warmup, GC stalls, and saturation over the run in
+	// a way the whole-run histogram cannot.
+	Timeline []IntervalStat
+}
+
+// IntervalStat is one progress interval's headline numbers.
+type IntervalStat struct {
+	// T is the interval's end, measured from the start of the run.
+	T time.Duration
+	// Ops is the number of requests completed in the interval.
+	Ops uint64
+	// QPS is Ops over the interval length.
+	QPS float64
+	// P50/P99 are interval-local request latencies.
+	P50, P99 time.Duration
 }
 
 // HitRatio returns hits over get lookups (0 when no gets completed).
@@ -147,6 +175,23 @@ func Run(cfg LoadConfig) (*LoadResult, error) {
 		deadline = start.Add(cfg.Duration)
 	}
 
+	// Progress sampling: one shared interval histogram fed with a single
+	// ObserveN per batch (not per request), so the reporter's lock is taken
+	// orders of magnitude less often than the per-connection histograms'.
+	var prog *stats.Histogram
+	var progDone chan struct{}
+	var progWG sync.WaitGroup
+	var timeline []IntervalStat
+	if cfg.Progress > 0 {
+		prog = stats.NewHistogram()
+		progDone = make(chan struct{})
+		progWG.Add(1)
+		go func() {
+			defer progWG.Done()
+			timeline = progressLoop(&cfg, prog, &ctr, start, progDone)
+		}()
+	}
+
 	var wg sync.WaitGroup
 	var dialErr atomic.Value
 	for i := 0; i < cfg.Conns; i++ {
@@ -171,7 +216,7 @@ func Run(cfg LoadConfig) (*LoadResult, error) {
 			})
 			connHist := stats.NewHistogram()
 			connSizes := make(map[int]uint64)
-			runConn(cl, &cfg, gen, connHist, connSizes, &ctr, &budget, deadline, start, interval, i)
+			runConn(cl, &cfg, gen, connHist, connSizes, prog, &ctr, &budget, deadline, start, interval, i)
 			mergeMu.Lock()
 			hist.Merge(connHist)
 			for n, c := range connSizes {
@@ -182,6 +227,10 @@ func Run(cfg LoadConfig) (*LoadResult, error) {
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	if progDone != nil {
+		close(progDone)
+		progWG.Wait()
+	}
 
 	if err, ok := dialErr.Load().(error); ok {
 		return nil, fmt.Errorf("server: loadgen dial: %w", err)
@@ -206,10 +255,62 @@ func Run(cfg LoadConfig) (*LoadResult, error) {
 	if len(sizes) > 0 {
 		res.GetBatchSizes = sizes
 	}
+	res.Timeline = timeline
 	if elapsed > 0 {
 		res.AchievedQPS = float64(res.Ops) / elapsed.Seconds()
 	}
 	return res, nil
+}
+
+// progressLoop is the interval reporter: every cfg.Progress it drains the
+// shared interval histogram, derives the window's throughput from the op
+// counter delta, records an IntervalStat, and (when ProgressW is set) prints
+// a one-line readout. A final partial interval is flushed on shutdown when it
+// saw any traffic.
+func progressLoop(cfg *LoadConfig, prog *stats.Histogram, ctr *loadCounters,
+	start time.Time, done chan struct{}) []IntervalStat {
+
+	tick := time.NewTicker(cfg.Progress)
+	defer tick.Stop()
+	var timeline []IntervalStat
+	var lastT time.Duration
+	var lastOps, lastHits, lastMisses uint64
+	report := func(final bool) {
+		t := time.Since(start)
+		ops := ctr.ops.Load()
+		hits, misses := ctr.hits.Load(), ctr.misses.Load()
+		snap := prog.SnapshotAndReset()
+		dOps := ops - lastOps
+		if final && dOps == 0 {
+			return // nothing happened since the last full interval
+		}
+		qps := 0.0
+		if dt := t - lastT; dt > 0 {
+			qps = float64(dOps) / dt.Seconds()
+		}
+		timeline = append(timeline, IntervalStat{
+			T: t, Ops: dOps, QPS: qps, P50: snap.P50, P99: snap.P99,
+		})
+		if cfg.ProgressW != nil {
+			line := fmt.Sprintf("[loadgen] t=%-6s ops=%-8d qps=%-8.0f p50=%-9s p99=%-9s",
+				t.Round(100*time.Millisecond), dOps, qps,
+				snap.P50.Round(time.Microsecond), snap.P99.Round(time.Microsecond))
+			if dl := (hits - lastHits) + (misses - lastMisses); dl > 0 {
+				line += fmt.Sprintf(" hit=%.1f%%", float64(hits-lastHits)/float64(dl)*100)
+			}
+			fmt.Fprintln(cfg.ProgressW, line)
+		}
+		lastT, lastOps, lastHits, lastMisses = t, ops, hits, misses
+	}
+	for {
+		select {
+		case <-tick.C:
+			report(false)
+		case <-done:
+			report(true)
+			return timeline
+		}
+	}
 }
 
 // batchOp remembers what each queued request was, to classify its response.
@@ -223,7 +324,7 @@ type batchOp struct {
 // runConn is one connection's request loop. hist and sizes are this
 // connection's private accumulators; the caller merges them afterwards.
 func runConn(cl *Client, cfg *LoadConfig, gen *workload.BC, hist *stats.Histogram,
-	sizes map[int]uint64, ctr *loadCounters, budget *atomic.Int64,
+	sizes map[int]uint64, prog *stats.Histogram, ctr *loadCounters, budget *atomic.Int64,
 	deadline, start time.Time, interval time.Duration, connIdx int) {
 
 	// The loadgen only classifies hit/miss; fetched value bytes go straight
@@ -329,6 +430,9 @@ func runConn(cl *Client, cfg *LoadConfig, gen *workload.BC, hist *stats.Histogra
 		if err != nil {
 			ctr.errs.Add(1)
 			return // transport gone; this connection is done
+		}
+		if prog != nil {
+			prog.ObserveN(lat, len(rs))
 		}
 		for j, r := range rs {
 			b := batch[j]

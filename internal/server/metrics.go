@@ -40,8 +40,22 @@ type metrics struct {
 	// path actually sees.
 	batchSizes [len(batchSizeBounds) + 1]stats.Counter
 
-	reqLatency *stats.Histogram // wall-clock request latency
+	reqLatency *stats.Histogram // wall-clock request latency, all verbs
+	// reqLatVerb splits request latency by verb (indexed by verbGet/
+	// verbSet/verbDelete) so the hit-path and write-path tails are
+	// separable on /metrics; msg/stats/version ops count only in the
+	// aggregate.
+	reqLatVerb [3]*stats.Histogram
 }
+
+// reqLatVerb indices.
+const (
+	verbGet = iota
+	verbSet
+	verbDelete
+)
+
+var verbNames = [3]string{"get", "set", "delete"}
 
 // batchSizeBounds are the inclusive upper bounds of the batch-size buckets.
 var batchSizeBounds = [...]int{1, 2, 4, 8, 16, 32, 64, 128}
@@ -58,6 +72,9 @@ func (m *metrics) observeBatchSize(n int) {
 
 func (m *metrics) init() {
 	m.reqLatency = stats.NewHistogram()
+	for i := range m.reqLatVerb {
+		m.reqLatVerb[i] = stats.NewHistogram()
+	}
 }
 
 // MetricsInto implements obs.MetricSource: the server's instruments register
@@ -93,4 +110,14 @@ func (s *Server) MetricsInto(r *obs.Registry, labels obs.Labels) {
 			labels.With("le", le), &m.batchSizes[i])
 	}
 	r.Histogram("server_request_latency", "Wall-clock request latency", labels, m.reqLatency)
+	for i, h := range m.reqLatVerb {
+		r.Histogram("server_request_latency", "Wall-clock request latency",
+			labels.With("verb", verbNames[i]), h)
+	}
+	if s.cfg.Spans != nil {
+		s.cfg.Spans.MetricsInto(r, labels)
+	}
+	if s.cfg.SLO != nil {
+		s.cfg.SLO.MetricsInto(r, labels)
+	}
 }

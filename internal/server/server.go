@@ -92,6 +92,14 @@ type Config struct {
 	// SlowThreshold is the latency above which a request is traced as slow
 	// (0 disables slow-request tracing).
 	SlowThreshold time.Duration
+	// Spans, when non-nil, enables request-stage span collection: per-batch
+	// sock_read/parse/queue_wait/exec/flush durations settle into the
+	// recorder's histograms (sampled) and slow-request exemplar log. Nil
+	// costs one pointer test per site on the serving path.
+	Spans *obs.SpanRecorder
+	// SLO, when non-nil, tracks per-verb latency objectives: every request
+	// counts against its verb's objective at batch latency.
+	SLO *obs.SLOTracker
 }
 
 func (c *Config) fillDefaults() {
@@ -155,6 +163,19 @@ type conn struct {
 	rw     respWriter // response ring, flushed once per batch
 	wg     sync.WaitGroup
 
+	// Span state (Config.Spans non-nil only). sp accumulates the current
+	// pipeline batch's stage durations; it settles in flushResp. The
+	// identity fields carry the batch's first op into the slow-request
+	// exemplar. qwait is written by shard workers (max group queue wait);
+	// spExec subtracts nested execBatch time out of the parse stage.
+	sp        obs.Span
+	spanOps   int
+	spanVerb  string
+	spanKey   string
+	spanShard int32
+	spExec    time.Duration
+	qwait     atomic.Int64
+
 	// Shard-dispatch scratch (sharded backends only).
 	phaseW map[string]struct{} // keys written in the current phase
 	phaseR map[string]struct{} // keys read in the current phase
@@ -183,6 +204,14 @@ type Server struct {
 	workerWG   sync.WaitGroup
 	workerOnce sync.Once
 
+	// spans is cfg.Spans; sloGet/sloSet/sloDel are cfg.SLO's per-verb
+	// handles resolved once here so the render loop never does a map walk
+	// (all nil-receiver-safe).
+	spans  *obs.SpanRecorder
+	sloGet *obs.SLOVerb
+	sloSet *obs.SLOVerb
+	sloDel *obs.SLOVerb
+
 	m metrics
 }
 
@@ -206,6 +235,10 @@ func New(cfg Config) (*Server, error) {
 		start: time.Now(),
 	}
 	s.m.init()
+	s.spans = cfg.Spans
+	s.sloGet = cfg.SLO.Verb("get")
+	s.sloSet = cfg.SLO.Verb("set")
+	s.sloDel = cfg.SLO.Verb("delete")
 	if sb, ok := cfg.Backend.(ShardedBackend); ok && sb.NumShards() > 0 {
 		s.sharded = sb
 		s.startWorkers(sb.NumShards())
@@ -353,8 +386,20 @@ func (s *Server) serveConn(c *conn) {
 			// command would just burn timer updates on the hot path.
 			c.nc.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout)) //nolint:errcheck
 		}
+		// Span: time the socket read only when it is part of a request — a
+		// batch is in flight or bytes are already buffered. Idle waits for a
+		// fresh batch's first command are client think time, not latency.
+		rec := s.spans
+		var t0 time.Time
+		timedRead := rec != nil && (len(c.b.ops) > 0 || len(c.partial) > 0 || br.Buffered() > 0)
+		if timedRead {
+			t0 = time.Now()
+		}
 		line, err := c.readCommand(br)
 		c.state.Store(connBusy)
+		if timedRead {
+			c.sp.Add(obs.StageSockRead, time.Since(t0))
+		}
 		if err != nil {
 			switch {
 			case errors.Is(err, errLineTooLong):
@@ -392,7 +437,21 @@ func (s *Server) serveConn(c *conn) {
 				return
 			}
 		}
-		switch s.parseCommand(c, br, line) {
+		// Span: the parse stage is parseCommand minus any execBatch it
+		// triggered internally (stats, batch caps) — that time is already
+		// attributed to queue_wait/exec via c.spExec.
+		var res parseResult
+		if rec != nil {
+			c.spExec = 0
+			t0 = time.Now()
+			res = s.parseCommand(c, br, line)
+			if d := time.Since(t0) - c.spExec; d > 0 {
+				c.sp.Add(obs.StageParse, d)
+			}
+		} else {
+			res = s.parseCommand(c, br, line)
+		}
+		switch res {
 		case parseOK:
 		default: // quit or fatal: serve what's queued, flush, close
 			s.execBatch(c)

@@ -87,6 +87,30 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.mu.Unlock()
 }
 
+// ObserveN records n samples of the same latency under one lock acquisition.
+// It is the batched form the serving layer uses when every request in a
+// pipeline batch observes the batch's latency: one ObserveN per (batch, verb)
+// instead of a lock round trip per request.
+func (h *Histogram) ObserveN(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.counts[bucketFor(d)] += uint64(n)
+	h.total += uint64(n)
+	h.sum += d * time.Duration(n)
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
 // Count returns the number of samples recorded.
 func (h *Histogram) Count() uint64 {
 	h.mu.Lock()
@@ -186,6 +210,33 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		s.Mean = h.sum / time.Duration(h.total)
 		s.Max = h.max
 	}
+	return s
+}
+
+// SnapshotAndReset atomically snapshots the histogram and clears it under
+// one lock acquisition, so no concurrent Observe is lost between the read
+// and the reset. It is the primitive an interval reporter uses to carve a
+// continuous sample stream into disjoint windows.
+func (h *Histogram) SnapshotAndReset() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{
+		Count: h.total,
+		Sum:   h.sum,
+		P50:   h.percentileLocked(0.50),
+		P90:   h.percentileLocked(0.90),
+		P99:   h.percentileLocked(0.99),
+		P999:  h.percentileLocked(0.999),
+	}
+	if h.total > 0 {
+		s.Mean = h.sum / time.Duration(h.total)
+		s.Max = h.max
+	}
+	h.counts = [histBuckets]uint64{}
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
 	return s
 }
 

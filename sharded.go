@@ -263,6 +263,7 @@ func (c *ShardedCache) Reopen() (*ShardedCache, error) {
 			TrackValues:  c.cfg.TrackValues,
 			ReadIndex:    c.cfg.FastReads,
 			ReinsertHits: c.cfg.ReinsertHits,
+			Spans:        c.cfg.Spans,
 		}
 		// Mirror harness.Build's policy defaulting: the Navy-faithful FIFO
 		// unless the configuration explicitly chose one.

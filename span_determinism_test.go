@@ -1,0 +1,53 @@
+package znscache
+
+import (
+	"fmt"
+	"testing"
+
+	"znscache/internal/obs"
+	"znscache/internal/workload"
+)
+
+// replayStats runs a fixed workload against a fresh cache and returns the
+// full Stats rendering — every counter, latency quantile, and the virtual
+// clock position.
+func replayStats(t *testing.T, spans *obs.SpanRecorder) string {
+	t.Helper()
+	c, err := Open(Config{Scheme: RegionCache, Zones: 12, Spans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := workload.NewBC(workload.BCConfig{Keys: 4 << 10, Seed: 99})
+	for i := 0; i < 20_000; i++ {
+		op := gen.Next()
+		switch op.Kind {
+		case workload.OpGet:
+			if _, ok, _ := c.Get(op.Key); !ok {
+				c.SetSized(op.Key, op.ValLen) //nolint:errcheck
+			}
+		case workload.OpSet:
+			c.SetSized(op.Key, op.ValLen) //nolint:errcheck
+		case workload.OpDelete:
+			c.Delete(op.Key)
+		}
+	}
+	return fmt.Sprintf("%+v", c.Stats())
+}
+
+// TestSpanSamplingPreservesDeterminism replays the same seeded workload with
+// spans off and with spans fully on. Span timings are wall-clock only — the
+// recorder never touches the virtual clock — so the replay statistics
+// (counters, simulated latencies, simulated time) must be byte-identical.
+func TestSpanSamplingPreservesDeterminism(t *testing.T) {
+	base := replayStats(t, nil)
+	if again := replayStats(t, nil); again != base {
+		t.Fatalf("baseline replay is itself nondeterministic:\n%s\n%s", base, again)
+	}
+	sampled := replayStats(t, obs.NewSpanRecorder(obs.SpanConfig{
+		SampleEvery: 1, SlowThreshold: 1,
+	}))
+	if sampled != base {
+		t.Fatalf("span sampling perturbed the replay.\nspans off: %s\nspans on:  %s",
+			base, sampled)
+	}
+}

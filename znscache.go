@@ -29,6 +29,7 @@ import (
 
 	"znscache/internal/cache"
 	"znscache/internal/harness"
+	"znscache/internal/obs"
 )
 
 // Scheme selects the cache backend design.
@@ -123,6 +124,11 @@ type Config struct {
 	// AdmissionSeed seeds the admission policy instance; OpenSharded
 	// decorrelates shards from it with cache.ShardSeed.
 	AdmissionSeed uint64
+	// Spans, when non-nil, samples wall-clock engine stage timings (fast vs
+	// locked gets, set publish, region flush, store I/O) into the recorder
+	// — the cache half of the serving layer's request-stage spans. Nil
+	// disables sampling at the cost of one pointer test per site.
+	Spans *obs.SpanRecorder
 }
 
 // Errors returned by the facade.
@@ -188,6 +194,7 @@ func Open(cfg Config) (*Cache, error) {
 		ReadIndex:        cfg.FastReads,
 		AdmissionFactory: cfg.Admission,
 		AdmissionSeed:    cfg.AdmissionSeed,
+		Spans:            cfg.Spans,
 	}
 	if cfg.Scheme == ZoneCache {
 		rc.ZoneCount = int(cfg.CacheBytes / hw.ZoneBytes())
