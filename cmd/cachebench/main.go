@@ -8,6 +8,7 @@
 //	cachebench -experiment fig3    # region buffer fill times (Figure 3)
 //	cachebench -experiment fig4    # OP-ratio sweep (Figure 4)
 //	cachebench -experiment table1  # WA factors under OP ratios (Table 1)
+//	cachebench -experiment contracts # zone-resource limit sweep (open/active caps)
 //	cachebench -experiment all     # everything
 //
 // Scale flags shrink or grow the run; defaults regenerate the numbers in
@@ -18,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"znscache/internal/cache"
 	"znscache/internal/fault"
@@ -28,7 +31,8 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|admission|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|admission|contracts|all")
+		limits      = flag.String("limits", "", "comma-separated open-zone caps for -experiment contracts (default 14,8,4,2,1)")
 		admission   = flag.String("admission", "", "admission policy for every rig: all|prob:P|reject-first[:BITS,WINDOW]|dynamic-random[:WINDOW_MS]|frequency[:THRESHOLD]")
 		admitBudget = flag.Float64("admit-budget", 0, "device-write budget in bytes per simulated second (required by -admission dynamic-random; overrides the admission sweep's derived budgets)")
 		zones       = flag.Int("zones", 0, "override device zone count")
@@ -179,6 +183,37 @@ func main() {
 		harness.PrintAdmission(os.Stdout, rows)
 		return report(harness.NewAdmissionReport(rows))
 	})
+	run("contracts", func() error {
+		p := harness.DefaultContracts()
+		if *zones != 0 {
+			p.Zones = *zones
+		}
+		if *ops != 0 {
+			p.MeasureOps = *ops
+		}
+		if *warmup != 0 {
+			p.WarmupOps = *warmup
+		}
+		if *keys != 0 {
+			p.Keys = *keys
+		}
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		if *limits != "" {
+			parsed, err := parseLimits(*limits)
+			if err != nil {
+				return err
+			}
+			p.Limits = parsed
+		}
+		rows, err := harness.RunContracts(p)
+		if err != nil {
+			return err
+		}
+		harness.PrintContracts(os.Stdout, rows)
+		return report(harness.NewContractsReport(rows))
+	})
 	run("fig3", func() error {
 		p := harness.DefaultFig3()
 		if *zones != 0 {
@@ -230,11 +265,24 @@ func main() {
 	}
 
 	switch *experiment {
-	case "all", "fig2", "fig3", "fig4", "table1", "smallzone", "admission":
+	case "all", "fig2", "fig3", "fig4", "table1", "smallzone", "admission", "contracts":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+// parseLimits parses the -limits flag: comma-separated positive ints.
+func parseLimits(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -limits entry %q (want positive integers)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // writeEvents dumps the tracer's retained events as a JSON array.

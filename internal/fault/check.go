@@ -8,10 +8,15 @@ import (
 )
 
 // CheckZoneContract audits a zoned device's visible state against the ZNS
-// written contract: every write pointer within [0, zone size], empty zones
+// written contract — every write pointer within [0, zone size], empty zones
 // at wp 0, full zones at wp == zone size, closed zones strictly between,
-// and no more open zones than the device's cap. Tests call it after any
-// run that touched a zoned device; a non-nil error lists every violation.
+// no more open zones than the device's cap — and the zone-resource budget:
+// open + closed zones must match the device's reported active count and
+// stay within the active budget, which itself can never sit below the open
+// cap. ZRWA bounds are audited per zone: pending window bytes only on
+// open/closed zones, never beyond the window size or the zone end. Tests
+// call it after any run that touched a zoned device; a non-nil error lists
+// every violation.
 //
 // It deliberately takes the zns.Zoned interface so the same check runs
 // against the raw device and against the fault wrapper (whose CheckContract
@@ -19,7 +24,7 @@ import (
 func CheckZoneContract(dev zns.Zoned) error {
 	var bad []string
 	size := dev.ZoneSize()
-	open := 0
+	open, active := 0, 0
 	for z := 0; z < dev.NumZones(); z++ {
 		info, err := dev.ZoneInfo(z)
 		if err != nil {
@@ -39,14 +44,39 @@ func CheckZoneContract(dev zns.Zoned) error {
 				bad = append(bad, fmt.Sprintf("zone %d: FULL with wp %d != %d", z, info.WP, size))
 			}
 		case zns.ZoneOpen, zns.ZoneClosed:
-			if info.WP == 0 || info.WP > size {
-				bad = append(bad, fmt.Sprintf("zone %d: %v with wp %d", z, info.State, info.WP))
+			// A zone holding resources must have something in flight: a
+			// nonzero write pointer, or (with ZRWA) bytes buffered in the
+			// window ahead of a still-zero write pointer.
+			if (info.WP == 0 && info.ZRWAPending == 0) || info.WP > size {
+				bad = append(bad, fmt.Sprintf("zone %d: %v with wp %d and no pending window bytes",
+					z, info.State, info.WP))
 			}
 			if info.State == zns.ZoneOpen {
 				open++
 			}
+			active++
 		default:
 			bad = append(bad, fmt.Sprintf("zone %d: unknown state %v", z, info.State))
+		}
+		// ZRWA window bounds: pending bytes can only exist on a zone that is
+		// holding resources, must fit the window, and must not run past the
+		// zone end.
+		if info.ZRWAPending < 0 {
+			bad = append(bad, fmt.Sprintf("zone %d: negative zrwa pending %d", z, info.ZRWAPending))
+		}
+		if info.ZRWAPending > 0 {
+			if info.ZRWAWindow == 0 {
+				bad = append(bad, fmt.Sprintf("zone %d: zrwa pending %d without a window", z, info.ZRWAPending))
+			}
+			if info.State != zns.ZoneOpen && info.State != zns.ZoneClosed {
+				bad = append(bad, fmt.Sprintf("zone %d: %v with zrwa pending %d", z, info.State, info.ZRWAPending))
+			}
+		}
+		if info.ZRWAWindow > 0 && info.ZRWAPending > info.ZRWAWindow {
+			bad = append(bad, fmt.Sprintf("zone %d: zrwa pending %d exceeds window %d", z, info.ZRWAPending, info.ZRWAWindow))
+		}
+		if info.ZRWAPending > 0 && info.WP+info.ZRWAPending > size {
+			bad = append(bad, fmt.Sprintf("zone %d: zrwa pending %d past zone end (wp %d)", z, info.ZRWAPending, info.WP))
 		}
 	}
 	if cap := dev.MaxOpenZones(); open > cap {
@@ -54,6 +84,15 @@ func CheckZoneContract(dev zns.Zoned) error {
 	}
 	if got := dev.OpenZones(); got > dev.MaxOpenZones() {
 		bad = append(bad, fmt.Sprintf("device reports %d open zones, cap %d", got, dev.MaxOpenZones()))
+	}
+	if budget := dev.MaxActiveZones(); budget < dev.MaxOpenZones() {
+		bad = append(bad, fmt.Sprintf("active budget %d below open cap %d", budget, dev.MaxOpenZones()))
+	}
+	if budget := dev.MaxActiveZones(); active > budget {
+		bad = append(bad, fmt.Sprintf("%d zones active, budget %d", active, budget))
+	}
+	if got := dev.ActiveZones(); got != active {
+		bad = append(bad, fmt.Sprintf("device reports %d active zones, states say %d", got, active))
 	}
 	if len(bad) == 0 {
 		return nil

@@ -110,6 +110,51 @@ type Addr struct {
 	Page  int
 }
 
+// Stripe maps the linear page sequence of a block group (a zone) onto its
+// blocks in chunks: ChunkPages consecutive pages land on one block before
+// the mapping advances to the next, wrapping around the group. Blocks with
+// consecutive indices interleave across dies (dieOf), so a write shorter
+// than one chunk occupies a single die while a multi-chunk write spreads
+// across up to Blocks dies — the intra-zone parallelism asymmetry real
+// zoned drives show between small and large sequential writes.
+//
+// Because the linear sequence visits each block's pages in increasing
+// order, the mapping preserves the NAND in-block program-order rule for
+// any sequential (write-pointer-ordered) producer.
+type Stripe struct {
+	Blocks     int // blocks in the group
+	ChunkPages int // consecutive pages per block before advancing
+}
+
+// Validate reports whether the stripe is usable over blocks of the given
+// page count. ChunkPages must divide PagesPerBlock: otherwise the wrap from
+// the group's last block back to the first would land mid-chunk and map
+// pages past the end of a block.
+func (s Stripe) Validate(pagesPerBlock int) error {
+	switch {
+	case s.Blocks <= 0:
+		return errors.New("flash: stripe Blocks must be positive")
+	case s.ChunkPages <= 0:
+		return errors.New("flash: stripe ChunkPages must be positive")
+	case s.ChunkPages > pagesPerBlock:
+		return fmt.Errorf("flash: stripe ChunkPages %d exceeds PagesPerBlock %d",
+			s.ChunkPages, pagesPerBlock)
+	case pagesPerBlock%s.ChunkPages != 0:
+		return fmt.Errorf("flash: stripe ChunkPages %d does not divide PagesPerBlock %d",
+			s.ChunkPages, pagesPerBlock)
+	}
+	return nil
+}
+
+// Addr maps linear page index p of the group starting at firstBlock to its
+// physical page.
+func (s Stripe) Addr(firstBlock int, p int64) Addr {
+	chunk := p / int64(s.ChunkPages)
+	blockInGroup := chunk % int64(s.Blocks)
+	page := (chunk/int64(s.Blocks))*int64(s.ChunkPages) + p%int64(s.ChunkPages)
+	return Addr{Block: firstBlock + int(blockInGroup), Page: int(page)}
+}
+
 // String renders the address for diagnostics.
 func (a Addr) String() string { return fmt.Sprintf("b%d/p%d", a.Block, a.Page) }
 

@@ -292,3 +292,121 @@ func mustProgram(t *testing.T, a *Array, addr Addr) {
 		t.Fatalf("Program(%v): %v", addr, err)
 	}
 }
+
+// TestStripeBijective checks that the chunked stripe maps the linear page
+// indices of a block group onto each physical page exactly once, for several
+// chunk sizes including the degenerate per-page round-robin (ChunkPages 1)
+// and the no-striping extreme (ChunkPages == PagesPerBlock).
+func TestStripeBijective(t *testing.T) {
+	const ppb = 8
+	for _, chunk := range []int{1, 2, 4, 8} {
+		s := Stripe{Blocks: 4, ChunkPages: chunk}
+		if err := s.Validate(ppb); err != nil {
+			t.Fatalf("Validate(chunk=%d): %v", chunk, err)
+		}
+		seen := make(map[Addr]int64)
+		total := int64(s.Blocks * ppb)
+		for p := int64(0); p < total; p++ {
+			a := s.Addr(10, p)
+			if a.Block < 10 || a.Block >= 10+s.Blocks {
+				t.Fatalf("chunk=%d p=%d block %d outside group [10,%d)", chunk, p, a.Block, 10+s.Blocks)
+			}
+			if a.Page < 0 || a.Page >= ppb {
+				t.Fatalf("chunk=%d p=%d page %d outside [0,%d)", chunk, p, a.Page, ppb)
+			}
+			if prev, dup := seen[a]; dup {
+				t.Fatalf("chunk=%d p=%d maps to %v, already claimed by p=%d", chunk, p, a, prev)
+			}
+			seen[a] = p
+		}
+		if int64(len(seen)) != total {
+			t.Fatalf("chunk=%d mapped %d distinct pages, want %d", chunk, len(seen), total)
+		}
+	}
+}
+
+// TestStripeSequentialWithinBlock checks that a sequential sweep of linear
+// indices visits each block's pages in strictly increasing order — the
+// property that lets a zone write program NAND pages in-order per block.
+func TestStripeSequentialWithinBlock(t *testing.T) {
+	const ppb = 16
+	s := Stripe{Blocks: 4, ChunkPages: 2}
+	last := make(map[int]int)
+	for b := 0; b < s.Blocks; b++ {
+		last[b] = -1
+	}
+	for p := int64(0); p < int64(s.Blocks*ppb); p++ {
+		a := s.Addr(0, p)
+		if a.Page != last[a.Block]+1 {
+			t.Fatalf("p=%d block %d jumps page %d -> %d", p, a.Block, last[a.Block], a.Page)
+		}
+		last[a.Block] = a.Page
+	}
+}
+
+// TestStripeChunkLocality checks the two halves of the striping bargain: a
+// sub-chunk run stays on one block (one die — small writes serialize), while
+// a run spanning k chunks touches k consecutive blocks (large writes
+// parallelize across dies).
+func TestStripeChunkLocality(t *testing.T) {
+	s := Stripe{Blocks: 4, ChunkPages: 4}
+	// Pages 0..3 are one chunk: all on the group's first block.
+	for p := int64(0); p < 4; p++ {
+		if a := s.Addr(0, p); a.Block != 0 {
+			t.Fatalf("p=%d block %d, want 0 (single-chunk run must stay on one die)", p, a.Block)
+		}
+	}
+	// A 16-page run covers 4 chunks: one per block.
+	blocks := make(map[int]bool)
+	for p := int64(0); p < 16; p++ {
+		blocks[s.Addr(0, p).Block] = true
+	}
+	if len(blocks) != 4 {
+		t.Fatalf("16-page run touched %d blocks, want 4", len(blocks))
+	}
+	// Chunk i lands on block i.
+	for i := int64(0); i < 4; i++ {
+		if a := s.Addr(0, i*4); a.Block != int(i) {
+			t.Fatalf("chunk %d starts on block %d, want %d", i, a.Block, i)
+		}
+	}
+}
+
+// TestStripeChunkOneMatchesRoundRobin pins ChunkPages=1 to the historical
+// per-page round-robin mapping, so configs that ask for it reproduce the old
+// behavior exactly.
+func TestStripeChunkOneMatchesRoundRobin(t *testing.T) {
+	s := Stripe{Blocks: 4, ChunkPages: 1}
+	for p := int64(0); p < 64; p++ {
+		want := Addr{Block: int(p % 4), Page: int(p / 4)}
+		if got := s.Addr(0, p); got != want {
+			t.Fatalf("p=%d: got %v, want %v", p, got, want)
+		}
+	}
+}
+
+// TestStripeValidate covers the rejection cases.
+func TestStripeValidate(t *testing.T) {
+	cases := []struct {
+		s   Stripe
+		ppb int
+		ok  bool
+	}{
+		{Stripe{Blocks: 4, ChunkPages: 2}, 8, true},
+		{Stripe{Blocks: 1, ChunkPages: 8}, 8, true},
+		{Stripe{Blocks: 0, ChunkPages: 2}, 8, false},  // no blocks
+		{Stripe{Blocks: -1, ChunkPages: 2}, 8, false}, // negative blocks
+		{Stripe{Blocks: 4, ChunkPages: 0}, 8, false},  // no chunk
+		{Stripe{Blocks: 4, ChunkPages: 16}, 8, false}, // chunk > block
+		{Stripe{Blocks: 4, ChunkPages: 3}, 8, false},  // does not divide
+	}
+	for _, c := range cases {
+		err := c.s.Validate(c.ppb)
+		if c.ok && err != nil {
+			t.Errorf("Validate(%+v, ppb=%d) = %v, want nil", c.s, c.ppb, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("Validate(%+v, ppb=%d) = nil, want error", c.s, c.ppb)
+		}
+	}
+}

@@ -138,6 +138,19 @@ func PrintTable2(w io.Writer, rows []Table2Row) {
 	}
 }
 
+// PrintContracts renders the unwritten-contracts zone-resource sweep.
+func PrintContracts(w io.Writer, rows []ContractsRow) {
+	fmt.Fprintln(w, "Unwritten contracts — zone-resource limits (open/active) vs each scheme")
+	fmt.Fprintf(w, "%-14s %5s %7s %12s %10s %6s %10s %8s %8s\n",
+		"scheme", "open", "active", "ops/sec", "hit-ratio", "WAF", "set-p99", "stalls", "finishes")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %5d %7d %12.0f %9.2f%% %6.2f %10s %8d %8d\n",
+			r.Scheme, r.MaxOpen, r.MaxActive, r.Result.OpsPerSec,
+			r.Result.HitRatio*100, r.Result.WAFactor, fmtDur(r.Result.SetP99),
+			r.BudgetStalls, r.ZoneFinishes)
+	}
+}
+
 // PrintSmallZone renders the small-zone hypothesis sweep.
 func PrintSmallZone(w io.Writer, rows []SmallZoneRow) {
 	fmt.Fprintln(w, "Small-zone hypothesis (§3.2/§4.2) — Zone-Cache vs zone size")
@@ -168,6 +181,18 @@ type Report struct {
 	SmallZone  []SmallZoneRowJSON `json:"smallzone,omitempty"`
 	Admission  []AdmissionRowJSON `json:"admission,omitempty"`
 	Serve      []ServeRowJSON     `json:"serve,omitempty"`
+	Contracts  []ContractsRowJSON `json:"contracts,omitempty"`
+}
+
+// ContractsRowJSON is ContractsRow in wire form.
+type ContractsRowJSON struct {
+	Scheme       string           `json:"scheme"`
+	MaxOpen      int              `json:"max_open_zones"`
+	MaxActive    int              `json:"max_active_zones"`
+	Result       SchemeResultJSON `json:"result"`
+	BudgetStalls uint64           `json:"budget_stalls"`
+	ZoneFinishes uint64           `json:"zone_finishes"`
+	StallNs      int64            `json:"stall_ns"`
 }
 
 // ServeRowJSON is one serving-benchmark run (cmd/loadgen against
@@ -394,6 +419,23 @@ func NewServeReport(rows []ServeRowJSON) *Report {
 	return &Report{Schema: ReportSchema, Experiment: "serve", Serve: rows}
 }
 
+// NewContractsReport wraps the unwritten-contracts sweep as a Report.
+func NewContractsReport(rows []ContractsRow) *Report {
+	rep := &Report{Schema: ReportSchema, Experiment: "contracts"}
+	for _, r := range rows {
+		rep.Contracts = append(rep.Contracts, ContractsRowJSON{
+			Scheme:       r.Scheme.String(),
+			MaxOpen:      r.MaxOpen,
+			MaxActive:    r.MaxActive,
+			Result:       schemeResultJSON(r.Result),
+			BudgetStalls: r.BudgetStalls,
+			ZoneFinishes: r.ZoneFinishes,
+			StallNs:      int64(r.StallTime),
+		})
+	}
+	return rep
+}
+
 // Validate checks the document invariants: the schema tag matches, the
 // experiment is named, and the named experiment's section is the one that is
 // populated.
@@ -410,6 +452,7 @@ func (r *Report) Validate() error {
 		"smallzone":   r.SmallZone != nil,
 		"admission":   r.Admission != nil,
 		"serve":       r.Serve != nil,
+		"contracts":   r.Contracts != nil,
 	}
 	populated, known := sections[r.Experiment]
 	if !known {

@@ -175,6 +175,16 @@ type RigConfig struct {
 	// back to the process-wide config installed with SetFaultConfig (nil
 	// there too runs fault-free). The injector is exposed as Rig.Faults.
 	Faults *fault.Config
+	// MaxOpenZones / MaxActiveZones bound the ZNS device's zone resources
+	// (0 = device defaults: 14 open, active = open cap). Block-Cache runs
+	// on a conventional SSD and ignores them. The unwritten-contracts sweep
+	// tightens these to measure how each scheme degrades.
+	MaxOpenZones   int
+	MaxActiveZones int
+	// MiddleOpenZones overrides how many zones Region-Cache's middle layer
+	// writes concurrently (0 = the default 2); still clamped to the zone
+	// slack, and at run time to the device's active budget.
+	MiddleOpenZones int
 }
 
 func (c *RigConfig) fillDefaults() {
@@ -386,6 +396,9 @@ func Build(cfg RigConfig) (*Rig, error) {
 		// number of zones still "aging" toward fully-dead — narrow. A wide
 		// window scatters region deaths and inflates GC migrations.
 		open := 2
+		if cfg.MiddleOpenZones > 0 {
+			open = cfg.MiddleOpenZones
+		}
 		if open > slack-1 {
 			open = slack - 1
 		}
@@ -518,10 +531,12 @@ func dev0ZoneSize(hw HWProfile) int64 { return hw.ZoneBytes() }
 
 func newZNSDevice(cfg RigConfig, geo flash.Geometry, timing flash.Timing) (*zns.Device, error) {
 	dev, err := zns.New(zns.Config{
-		Geometry:      geo,
-		Timing:        timing,
-		BlocksPerZone: cfg.HW.BlocksPerZone,
-		StoreData:     cfg.TrackValues,
+		Geometry:       geo,
+		Timing:         timing,
+		BlocksPerZone:  cfg.HW.BlocksPerZone,
+		StoreData:      cfg.TrackValues,
+		MaxOpenZones:   cfg.MaxOpenZones,
+		MaxActiveZones: cfg.MaxActiveZones,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("harness: zns device: %w", err)

@@ -1,0 +1,316 @@
+package middle
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"znscache/internal/device"
+	"znscache/internal/fault"
+	"znscache/internal/flash"
+	"znscache/internal/zns"
+)
+
+// newBudgetZNS builds the standard 32-zone test device with explicit
+// open/active limits.
+func newBudgetZNS(t *testing.T, maxOpen, maxActive int) *zns.Device {
+	t.Helper()
+	d, err := zns.New(zns.Config{
+		Geometry: flash.Geometry{
+			Channels: 2, DiesPerChan: 2, BlocksPerDie: 64,
+			PagesPerBlock: 16, PageSize: device.SectorSize,
+		},
+		Timing:         flash.DefaultTiming(),
+		BlocksPerZone:  8,
+		MaxOpenZones:   maxOpen,
+		MaxActiveZones: maxActive,
+		StoreData:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// hogActiveSlot writes a sector into the device's last zone and closes it,
+// leaving a closed zone that pins one unit of active budget without ever
+// being in the middle layer's in-flight set (the placement pool drains from
+// zone 0 upward, so short tests never touch it).
+func hogActiveSlot(t *testing.T, dev *zns.Device) int {
+	t.Helper()
+	z := dev.NumZones() - 1
+	off := int64(z) * dev.ZoneSize()
+	if _, err := dev.Write(0, bytes.Repeat([]byte{0xEE}, device.SectorSize), device.SectorSize, off); err != nil {
+		t.Fatalf("hog write: %v", err)
+	}
+	if err := dev.Close(z); err != nil {
+		t.Fatalf("hog close: %v", err)
+	}
+	return z
+}
+
+// TestFlushStallsNotErrors is the budget-scheduling contract: with the
+// active budget partly pinned elsewhere, region flushes that trip the
+// device's zone-resource limits stall — the layer frees budget by finishing
+// or closing another zone — and complete without surfacing an error.
+func TestFlushStallsNotErrors(t *testing.T) {
+	cases := []struct {
+		name               string
+		maxOpen, maxActive int
+		openZones          int
+		hog                bool
+	}{
+		// Active budget: 2 slots, one pinned by a foreign closed zone, so the
+		// layer's second in-flight zone can only open after finishing the first.
+		{"active-budget", 2, 2, 2, true},
+		// Open cap below the in-flight set: every zone switch closes another
+		// zone first (cheap juggling, no finishes required).
+		{"open-cap", 1, 4, 2, false},
+		// Both limits tight at once.
+		{"open-and-active", 1, 2, 2, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dev := newBudgetZNS(t, tc.maxOpen, tc.maxActive)
+			if tc.hog {
+				hogActiveSlot(t, dev)
+			}
+			l, err := New(dev, Config{RegionSize: testRegion, OpenZones: tc.openZones, MinEmptyZones: 4})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			data := bytes.Repeat([]byte{0x5A}, testRegion)
+			for id := 0; id < 12; id++ {
+				if _, err := l.WriteRegion(0, id, data); err != nil {
+					t.Fatalf("WriteRegion(%d) errored instead of stalling: %v", id, err)
+				}
+			}
+			if got := l.BudgetStalls.Load(); got == 0 {
+				t.Fatal("no budget stalls recorded; the limits were never hit")
+			}
+			if dev.OpenZones() > tc.maxOpen {
+				t.Fatalf("open zones %d exceed cap %d", dev.OpenZones(), tc.maxOpen)
+			}
+			if dev.ActiveZones() > tc.maxActive {
+				t.Fatalf("active zones %d exceed budget %d", dev.ActiveZones(), tc.maxActive)
+			}
+			if err := fault.CheckZoneContract(dev); err != nil {
+				t.Fatal(err)
+			}
+			// Every region written must still be readable.
+			got := make([]byte, testRegion)
+			for id := 0; id < 12; id++ {
+				if _, err := l.ReadRegion(0, id, got, testRegion, 0); err != nil {
+					t.Fatalf("ReadRegion(%d): %v", id, err)
+				}
+				if !bytes.Equal(got, data) {
+					t.Fatalf("region %d corrupted", id)
+				}
+			}
+		})
+	}
+}
+
+// TestActiveStallPaysFinishCost checks the stall accounting: freeing active
+// budget finishes a partly-written zone, which costs real fill time that
+// must land in StallTimeNs, the finish counter, and the flush's latency.
+func TestActiveStallPaysFinishCost(t *testing.T) {
+	dev := newBudgetZNS(t, 2, 2)
+	hogActiveSlot(t, dev)
+	l, err := New(dev, Config{RegionSize: testRegion, OpenZones: 2, MinEmptyZones: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, testRegion)
+	// First flush opens a zone; keep writing until a flush lands on the
+	// other in-flight zone and must finish the first to free its slot.
+	baseline, err := l.WriteRegion(0, 0, data)
+	if err != nil {
+		t.Fatalf("WriteRegion(0): %v", err)
+	}
+	var stalledLat int64
+	for id := 1; id < 12 && l.BudgetStalls.Load() == 0; id++ {
+		lat, err := l.WriteRegion(0, id, data)
+		if err != nil {
+			t.Fatalf("WriteRegion(%d): %v", id, err)
+		}
+		stalledLat = int64(lat)
+	}
+	if l.BudgetStalls.Load() == 0 {
+		t.Fatal("no stall occurred")
+	}
+	if l.ZoneFinishes.Load() == 0 {
+		t.Fatal("stall did not finish a zone")
+	}
+	if l.StallTimeNs.Load() == 0 {
+		t.Fatal("stall time not recorded (finishing a partial zone must cost fill time)")
+	}
+	if dev.FinishFill.Load() == 0 {
+		t.Fatal("device recorded no finish fill; the early finish was free")
+	}
+	if stalledLat <= int64(baseline) {
+		t.Fatalf("stalled flush latency %d not above unstalled %d", stalledLat, baseline)
+	}
+}
+
+// TestActiveStallResetsDeadZone checks the cheap path: when another in-flight
+// zone's regions have all been invalidated, the layer frees budget by
+// resetting it (returning it to the empty pool) instead of finishing it.
+func TestActiveStallResetsDeadZone(t *testing.T) {
+	dev := newBudgetZNS(t, 2, 2)
+	hogActiveSlot(t, dev)
+	l, err := New(dev, Config{RegionSize: testRegion, OpenZones: 2, MinEmptyZones: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	data := bytes.Repeat([]byte{0x5A}, testRegion)
+	resetsBefore := dev.Resets.Load()
+	// Write one region then evict it, leaving its zone dead in the in-flight
+	// set; keep writing fresh regions (evicting each immediately so dead
+	// zones stay available) until a stall fires.
+	for id := 0; id < 12 && l.BudgetStalls.Load() == 0; id++ {
+		if _, err := l.WriteRegion(0, id, data); err != nil {
+			t.Fatalf("WriteRegion(%d): %v", id, err)
+		}
+		if _, err := l.EvictRegion(0, id); err != nil {
+			t.Fatalf("EvictRegion(%d): %v", id, err)
+		}
+	}
+	if l.BudgetStalls.Load() == 0 {
+		t.Fatal("no stall occurred")
+	}
+	if l.ZoneFinishes.Load() != 0 {
+		t.Fatalf("layer finished %d zones; dead zones should be reset, not finished",
+			l.ZoneFinishes.Load())
+	}
+	if dev.Resets.Load() == resetsBefore {
+		t.Fatal("no device reset despite dead in-flight zones")
+	}
+	if l.Resets.Load() != 0 {
+		t.Fatalf("GC reset counter moved (%d); budget resets are not GC", l.Resets.Load())
+	}
+	if err := fault.CheckZoneContract(dev); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushResumesAfterExternalFree checks the hard-exhaustion edge: when
+// the layer itself holds nothing it can free, the flush surfaces the
+// device's budget error without corrupting state, and succeeds as soon as
+// the external holder finishes or resets its zone.
+func TestFlushResumesAfterExternalFree(t *testing.T) {
+	for _, free := range []string{"finish", "reset"} {
+		t.Run(free, func(t *testing.T) {
+			dev := newBudgetZNS(t, 1, 1)
+			hog := hogActiveSlot(t, dev)
+			l, err := New(dev, Config{RegionSize: testRegion, OpenZones: 1, MinEmptyZones: 4})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			data := bytes.Repeat([]byte{0x77}, testRegion)
+			if _, err := l.WriteRegion(0, 0, data); !errors.Is(err, zns.ErrTooManyActive) {
+				t.Fatalf("WriteRegion with budget fully pinned: err = %v, want ErrTooManyActive", err)
+			}
+			// The failed flush must not have retired or corrupted anything.
+			if l.ZoneFinishes.Load() != 0 || l.Abandoned.Load() != 0 {
+				t.Fatalf("failed flush mutated zones: finishes=%d abandoned=%d",
+					l.ZoneFinishes.Load(), l.Abandoned.Load())
+			}
+			switch free {
+			case "finish":
+				if _, err := dev.Finish(0, hog); err != nil {
+					t.Fatalf("external finish: %v", err)
+				}
+			case "reset":
+				if _, err := dev.Reset(0, hog); err != nil {
+					t.Fatalf("external reset: %v", err)
+				}
+			}
+			if _, err := l.WriteRegion(0, 0, data); err != nil {
+				t.Fatalf("WriteRegion after external %s: %v", free, err)
+			}
+			got := make([]byte, testRegion)
+			if _, err := l.ReadRegion(0, 0, got, testRegion, 0); err != nil {
+				t.Fatalf("ReadRegion: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatal("region corrupted")
+			}
+			if err := fault.CheckZoneContract(dev); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentFlushesUnderBudget is the -race stress: many goroutines
+// flushing (and evicting) regions over a device whose open cap and active
+// budget both sit below the layer's configured concurrency. Every flush must
+// complete, the limits must hold, and the zone contract must be clean.
+func TestConcurrentFlushesUnderBudget(t *testing.T) {
+	dev := newBudgetZNS(t, 2, 3)
+	hogActiveSlot(t, dev)
+	l, err := New(dev, Config{RegionSize: testRegion, OpenZones: 4, MinEmptyZones: 4})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	const (
+		workers = 8
+		perW    = 40
+	)
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			data := bytes.Repeat([]byte{byte(w)}, testRegion)
+			for i := 0; i < perW; i++ {
+				id := w*perW + i
+				if _, err := l.WriteRegion(0, id, data); err != nil {
+					errCh <- fmt.Errorf("worker %d WriteRegion(%d): %w", w, id, err)
+					return
+				}
+				// Evict a third of the regions to create dead slots (and the
+				// occasional dead zone) while flushes race.
+				if i%3 == 0 {
+					if _, err := l.EvictRegion(0, id); err != nil {
+						errCh <- fmt.Errorf("worker %d EvictRegion(%d): %w", w, id, err)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if dev.OpenZones() > 2 {
+		t.Fatalf("open zones %d exceed cap 2", dev.OpenZones())
+	}
+	if dev.ActiveZones() > 3 {
+		t.Fatalf("active zones %d exceed budget 3", dev.ActiveZones())
+	}
+	if l.BudgetStalls.Load() == 0 {
+		t.Fatal("stress never stalled; budget pressure was not exercised")
+	}
+	if err := fault.CheckZoneContract(dev); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check surviving regions.
+	got := make([]byte, testRegion)
+	for w := 0; w < workers; w++ {
+		id := w*perW + 1 // never evicted (i%3 != 0)
+		if _, err := l.ReadRegion(0, id, got, testRegion, 0); err != nil {
+			t.Fatalf("ReadRegion(%d): %v", id, err)
+		}
+		if !bytes.Equal(got, bytes.Repeat([]byte{byte(w)}, testRegion)) {
+			t.Fatalf("region %d corrupted", id)
+		}
+	}
+}

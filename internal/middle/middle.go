@@ -106,6 +106,7 @@ type zoneMeta struct {
 type Layer struct {
 	dev            zns.Zoned
 	cfg            Config
+	inFlight       int // openSet size cap: min(OpenZones, device active budget)
 	regionsPerZone int
 
 	mu       sync.Mutex
@@ -126,6 +127,16 @@ type Layer struct {
 	// Abandoned counts zones retired after a failed/torn write desynced
 	// their write pointer from the slot accounting (fault injection).
 	Abandoned stats.Counter
+	// ZoneFinishes counts every finish the layer issues — exhausted zones
+	// retired by placement, zones abandoned after faults, and zones finished
+	// early to free the active budget.
+	ZoneFinishes stats.Counter
+	// BudgetStalls counts region writes that hit the device's open-zone cap
+	// or active-zone budget and had to close, finish, or reset another zone
+	// before they could proceed; StallTimeNs is the simulated time those
+	// flushes spent waiting on that budget-freeing work.
+	BudgetStalls stats.Counter
+	StallTimeNs  stats.Counter
 	// GCTimeNs accumulates simulated nanoseconds spent reclaiming zones
 	// (migration reads/writes plus the zone reset) — the device-busy time GC
 	// steals from foreground traffic.
@@ -148,9 +159,15 @@ func New(dev zns.Zoned, cfg Config) (*Layer, error) {
 	if rpz > 64 {
 		return nil, fmt.Errorf("%w: %d regions per zone exceeds bitmap width 64", ErrBadConfig, rpz)
 	}
-	if cfg.OpenZones > dev.MaxOpenZones() {
-		return nil, fmt.Errorf("%w: OpenZones %d exceeds device cap %d",
-			ErrBadConfig, cfg.OpenZones, dev.MaxOpenZones())
+	// OpenZones above the device's zone-resource budget is allowed — the
+	// layer schedules around the budget at run time (closing, finishing, and
+	// resetting zones to stay inside it), which is exactly the regime the
+	// unwritten-contracts sweep measures. The in-flight set is still clamped
+	// to the active budget: in-flight zones beyond it could never all hold
+	// slots, they would only churn finishes.
+	inFlight := cfg.OpenZones
+	if b := dev.MaxActiveZones(); inFlight > b {
+		inFlight = b
 	}
 	capRegions := dev.NumZones() * rpz
 	if cfg.NumRegions == 0 {
@@ -167,6 +184,7 @@ func New(dev zns.Zoned, cfg Config) (*Layer, error) {
 	l := &Layer{
 		dev:            dev,
 		cfg:            cfg,
+		inFlight:       inFlight,
 		regionsPerZone: rpz,
 		mapTable:       make(map[int]mapping),
 		zones:          make([]zoneMeta, dev.NumZones()),
@@ -241,11 +259,12 @@ func (l *Layer) writableZoneLocked() (int, error) {
 		if _, err := l.dev.Finish(0, z); err != nil {
 			return -1, err
 		}
+		l.ZoneFinishes.Inc()
 		l.full[z] = struct{}{}
 		l.openSet = append(l.openSet[:idx], l.openSet[idx+1:]...)
 	}
-	// Refill the open set.
-	for len(l.openSet) < l.cfg.OpenZones {
+	// Refill the open set, never beyond the device's active budget.
+	for len(l.openSet) < l.inFlight {
 		z := l.takeEmptyLocked()
 		if z == -1 {
 			break
@@ -259,10 +278,18 @@ func (l *Layer) writableZoneLocked() (int, error) {
 }
 
 // placeRegionLocked appends data as region id into a writable zone at time
-// now, updating mapping and bitmap. Returns the device completion latency.
+// now, updating mapping and bitmap. Returns the device completion latency,
+// including any time spent stalled on the device's zone-resource budget.
 //
-// A failed device write may have advanced the zone's write pointer partway
-// (a torn write), leaving the zone out of sync with the layer's slot
+// A write rejected for zone resources (open cap or active budget) is not a
+// fault: the flush stalls while the layer frees budget — closing another
+// open zone, resetting a dead one, or finishing the fullest one — and then
+// retries the same slot. The target zone is untouched by a budget rejection
+// (the device refuses before moving the write pointer), so no abandonment
+// is needed on that path.
+//
+// Any other failed device write may have advanced the zone's write pointer
+// partway (a torn write), leaving the zone out of sync with the layer's slot
 // accounting. The zone is abandoned — retired to the full set with its
 // remaining slots unusable, so GC reclaims it later — and the error is
 // returned; the caller's retry re-routes to a different zone.
@@ -274,10 +301,35 @@ func (l *Layer) placeRegionLocked(now time.Duration, id int, data []byte) (time.
 	zm := &l.zones[z]
 	slot := zm.written
 	off := int64(z)*l.dev.ZoneSize() + int64(slot)*l.cfg.RegionSize
-	lat, err := l.dev.Write(now, data, int(l.cfg.RegionSize), off)
-	if err != nil {
+	var lat, stall time.Duration
+	stalled := false
+	// Two frees per in-flight zone bounds the juggle: each retry either
+	// closes or retires one zone, and there are at most inFlight candidates.
+	for attempt := 0; ; attempt++ {
+		lat, err = l.dev.Write(now+stall, data, int(l.cfg.RegionSize), off)
+		if err == nil {
+			break
+		}
+		if errors.Is(err, zns.ErrTooManyOpen) || errors.Is(err, zns.ErrTooManyActive) {
+			if attempt < 2*l.inFlight+2 {
+				took, ferr := l.freeBudgetLocked(now+stall, z, errors.Is(err, zns.ErrTooManyActive))
+				if ferr == nil {
+					stalled = true
+					stall += took
+					continue
+				}
+			}
+			// Budget exhausted and nothing freeable: the zone's state is
+			// intact (the device rejected before writing), so surface the
+			// error without retiring it.
+			return 0, fmt.Errorf("middle: zone write: %w", err)
+		}
 		l.abandonZoneLocked(z)
 		return 0, fmt.Errorf("middle: zone write: %w", err)
+	}
+	if stalled {
+		l.BudgetStalls.Inc()
+		l.StallTimeNs.Add(uint64(stall))
 	}
 	zm.written++
 	zm.bitmap |= 1 << uint(slot)
@@ -293,6 +345,86 @@ func (l *Layer) placeRegionLocked(now time.Duration, id int, data []byte) (time.
 			}
 		}
 	}
+	return stall + lat, nil
+}
+
+// freeBudgetLocked releases one unit of zone-resource budget so a stalled
+// write to zone keep can proceed. Open-cap pressure is relieved by closing
+// another in-flight zone (cheap: the zone stays writable and re-opens on its
+// next write). Active-budget pressure needs a zone out of the open/closed
+// states entirely: a dead in-flight zone (every slot already invalidated) is
+// reset back to the empty pool for free; otherwise the fullest other
+// in-flight zone is finished early — paying the device's fill cost and
+// stranding its unwritten slots, the capacity-and-WA tax of running with
+// fewer active zones than the layer wants. Returns the simulated time the
+// freeing took, or an error when nothing can be freed.
+func (l *Layer) freeBudgetLocked(now time.Duration, keep int, needActive bool) (time.Duration, error) {
+	if !needActive {
+		for _, z := range l.openSet {
+			if z == keep {
+				continue
+			}
+			info, err := l.dev.ZoneInfo(z)
+			if err != nil || info.State != zns.ZoneOpen {
+				continue
+			}
+			if err := l.dev.Close(z); err != nil {
+				return 0, err
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("middle: open cap reached with no closable zone: %w", ErrNoSpace)
+	}
+	// A dead in-flight zone — written into, then every region invalidated —
+	// frees its active slot by reset and rejoins the empty pool.
+	for i, z := range l.openSet {
+		if z == keep {
+			continue
+		}
+		zm := &l.zones[z]
+		if zm.written == 0 || zm.bitmap != 0 {
+			continue
+		}
+		lat, err := l.dev.Reset(now, z)
+		if err != nil {
+			return 0, err
+		}
+		zm.written = 0
+		for s := range zm.regions {
+			zm.regions[s] = -1
+		}
+		l.openSet = append(l.openSet[:i], l.openSet[i+1:]...)
+		l.empty = append(l.empty, z)
+		return lat, nil
+	}
+	// Otherwise retire the fullest other in-flight zone: finishing the zone
+	// with the least unwritten tail minimizes the fill cost and the stranded
+	// slots.
+	best := -1
+	for _, z := range l.openSet {
+		if z == keep || l.zones[z].written == 0 {
+			continue
+		}
+		if best == -1 || l.zones[z].written > l.zones[best].written {
+			best = z
+		}
+	}
+	if best == -1 {
+		return 0, fmt.Errorf("middle: active budget exhausted with no reclaimable zone: %w", ErrNoSpace)
+	}
+	lat, err := l.dev.Finish(now, best)
+	if err != nil {
+		return 0, err
+	}
+	l.ZoneFinishes.Inc()
+	l.zones[best].written = l.regionsPerZone // unwritten slots are stranded
+	l.full[best] = struct{}{}
+	for i, o := range l.openSet {
+		if o == best {
+			l.openSet = append(l.openSet[:i], l.openSet[i+1:]...)
+			break
+		}
+	}
 	return lat, nil
 }
 
@@ -304,6 +436,7 @@ func (l *Layer) placeRegionLocked(now time.Duration, id int, data []byte) (time.
 // layer never re-routes writes into it.
 func (l *Layer) abandonZoneLocked(z int) {
 	l.dev.Finish(0, z) //nolint:errcheck
+	l.ZoneFinishes.Inc()
 	zm := &l.zones[z]
 	zm.written = l.regionsPerZone
 	l.full[z] = struct{}{}
@@ -550,6 +683,9 @@ func (l *Layer) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	r.Counter("middle_zone_resets_total", "Zones reclaimed (reset) by GC", ls, &l.Resets)
 	r.Counter("middle_gc_busy_nanoseconds_total", "Simulated time spent in GC reclaim (migrations + resets)", ls, &l.GCTimeNs)
 	r.Counter("middle_zones_abandoned_total", "Zones retired after a torn/failed write", ls, &l.Abandoned)
+	r.Counter("middle_zone_finish_total", "Zone finishes issued by the layer (exhausted, abandoned, or budget-evicted zones)", ls, &l.ZoneFinishes)
+	r.Counter("middle_budget_stall_total", "Region flushes stalled on the device zone-resource budget", ls, &l.BudgetStalls)
+	r.Counter("middle_budget_stall_nanoseconds_total", "Simulated time flushes spent freeing zone-resource budget", ls, &l.StallTimeNs)
 	r.Gauge("middle_empty_zones", "Zones in the reclaimable pool", ls, func() float64 {
 		return float64(l.EmptyZones())
 	})

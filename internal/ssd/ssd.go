@@ -38,6 +38,13 @@ type Config struct {
 	// from the geometry (dies+2 and +4).
 	GCLowBlocks  int
 	GCHighBlocks int
+	// StripeChunkPages is how many consecutive page allocations stay on one
+	// open block (one die) before rotating to the next — the FTL-side twin
+	// of the ZNS zone stripe chunk, so both devices show the same die-level
+	// asymmetry: sub-chunk I/O serializes on one die, long runs spread.
+	// Zero defaults to 2 (the model's 4 KiB pages make that one real
+	// multi-plane NAND page), clamped to PagesPerBlock.
+	StripeChunkPages int
 	// StoreData retains page payloads for read-back (tests, examples).
 	StoreData bool
 }
@@ -54,6 +61,12 @@ func (c *Config) fillDefaults() {
 	}
 	if c.GCHighBlocks == 0 {
 		c.GCHighBlocks = c.GCLowBlocks + 4
+	}
+	if c.StripeChunkPages <= 0 {
+		c.StripeChunkPages = 2
+	}
+	if c.StripeChunkPages > c.Geometry.PagesPerBlock {
+		c.StripeChunkPages = c.Geometry.PagesPerBlock
 	}
 }
 
@@ -77,6 +90,7 @@ type SSD struct {
 	p2l      []int64 // physical page -> logical page
 	openBlks []int   // one open block per die for host/GC writes
 	openNext int     // round-robin cursor over openBlks
+	allocRun int     // consecutive allocations on the current open block
 	freeBlks []int
 	// reserveBlks is a dedicated pool only GC migrations may draw from; it
 	// guarantees collection can always complete one victim even when the
@@ -178,15 +192,22 @@ func (s *SSD) takeFreeLocked() int {
 }
 
 // allocPageLocked returns the physical page to program next, rotating over
-// the per-die open blocks. Caller holds mu and has ensured free supply.
+// the per-die open blocks in chunks of StripeChunkPages so consecutive
+// writes share a die until the chunk fills. Caller holds mu and has ensured
+// free supply.
 func (s *SSD) allocPageLocked() flash.Addr {
 	for {
 		blk := s.openBlks[s.openNext]
 		front := s.array.WriteFront(blk)
 		if front < s.cfg.Geometry.PagesPerBlock {
-			s.openNext = (s.openNext + 1) % len(s.openBlks)
+			s.allocRun++
+			if s.allocRun >= s.cfg.StripeChunkPages {
+				s.allocRun = 0
+				s.openNext = (s.openNext + 1) % len(s.openBlks)
+			}
 			return flash.Addr{Block: blk, Page: front}
 		}
+		s.allocRun = 0
 		// Block filled: retire it and open a fresh one in its slot. GC
 		// migrations may dip into the reserve; host writes never do (the
 		// watermark check keeps the general pool stocked for them).

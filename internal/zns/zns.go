@@ -7,7 +7,21 @@
 // policy (and therefore write amplification) moves up to the application,
 // and the same hardware exports more usable capacity than a regular SSD
 // (§2.2: 7–28% more). The zone/flash mapping stripes each zone across the
-// array's dies, so large sequential zone writes enjoy full parallelism.
+// array's dies in chunks, so large sequential zone writes enjoy full
+// parallelism while sub-chunk writes serialize on a single die.
+//
+// Beyond the written contract, the device models the zone-resource limits
+// the ZNS characterization literature calls the unwritten contracts:
+//
+//   - An open-zone cap (ZN540: 14) bounds zones accepting writes.
+//   - A distinct active-zone budget bounds zones holding device resources:
+//     open zones plus closed-but-unfinished zones. Only finishing or
+//     resetting a zone returns its active slot; exceeding the budget fails
+//     with ErrTooManyActive.
+//   - Opt-in ZRWA (zone random write area): a per-zone window ahead of the
+//     write pointer that accepts random and overlapping writes, committed
+//     to flash explicitly (CommitZRWA) or implicitly when writes land past
+//     the window end.
 package zns
 
 import (
@@ -59,8 +73,10 @@ var (
 	ErrZoneFull        = errors.New("zns: zone is full")
 	ErrReadBeyondWP    = errors.New("zns: read beyond write pointer")
 	ErrTooManyOpen     = errors.New("zns: maximum open zones exceeded")
+	ErrTooManyActive   = errors.New("zns: maximum active zones exceeded")
 	ErrZoneRange       = errors.New("zns: zone index out of range")
 	ErrCrossZone       = errors.New("zns: I/O crosses a zone boundary")
+	ErrZRWADisabled    = errors.New("zns: ZRWA not enabled on this device")
 )
 
 // Config parameterizes the device.
@@ -73,6 +89,11 @@ type Config struct {
 	BlocksPerZone int
 	// MaxOpenZones caps concurrently writable zones (ZN540: 14).
 	MaxOpenZones int
+	// MaxActiveZones caps zones holding device resources: open zones plus
+	// closed-but-unfinished zones. Zero defaults it to MaxOpenZones. Since
+	// every open zone is active, a value below MaxOpenZones is rejected at
+	// New with ErrBadConfig.
+	MaxActiveZones int
 	// ZoneStripeLanes caps the write parallelism available to any single
 	// zone (default 4, clamped to BlocksPerZone). Real zoned drives expose
 	// a per-zone write bandwidth well below the device aggregate; saturating
@@ -80,6 +101,22 @@ type Config struct {
 	// the paper's middle layer "supports concurrent writing of multiple
 	// zones" (§3.3) and why one-zone-at-a-time Zone-Cache flushes lag.
 	ZoneStripeLanes int
+	// StripeChunkSectors is how many consecutive zone sectors map to one
+	// flash block before the zone/flash mapping advances to the next block
+	// (and therefore the next die). The model's pages are 4 KiB bandwidth
+	// units, so the default chunk of 2 approximates one real multi-plane
+	// NAND page worth of data per die. Zero picks the largest divisor of
+	// PagesPerBlock at most 2; an explicit value must divide PagesPerBlock.
+	StripeChunkSectors int
+	// ZRWA enables a zone random write area: a window of ZRWABytes ahead of
+	// each zone's write pointer that accepts random and overlapping writes.
+	// Window contents live in device RAM until committed (explicitly via
+	// CommitZRWA, or implicitly when a write lands beyond the window end),
+	// so overwrites inside the window are absorbed without flash programs.
+	ZRWA bool
+	// ZRWABytes is the per-zone window size (sector multiple; default
+	// 64 KiB, clamped to the zone size). Only meaningful with ZRWA set.
+	ZRWABytes int64
 	// StoreData retains payloads for read-back.
 	StoreData bool
 }
@@ -94,6 +131,12 @@ type Zone struct {
 	WP int64
 	// Resets counts lifecycle cycles (wear proxy at zone granularity).
 	Resets uint64
+	// ZRWAWindow is the configured random-write window size in bytes; zero
+	// when ZRWA is disabled.
+	ZRWAWindow int64
+	// ZRWAPending is the high-water mark of uncommitted window bytes: the
+	// distance from WP to just past the highest buffered sector.
+	ZRWAPending int64
 }
 
 // Zoned is the zone-op interface the upper layers (the F2FS model, the
@@ -112,15 +155,22 @@ type Zoned interface {
 	MaxOpenZones() int
 	// OpenZones returns the number of zones currently open.
 	OpenZones() int
+	// MaxActiveZones returns the active-zone budget (open + closed).
+	MaxActiveZones() int
+	// ActiveZones returns the number of zones currently holding an active
+	// slot (open or closed).
+	ActiveZones() int
 	// ZoneInfo returns a snapshot of zone z.
 	ZoneInfo(z int) (Zone, error)
 	// Write appends n bytes at offset off (must equal the zone's write
-	// pointer). data may be nil for a metadata-only write.
+	// pointer, or fall inside the ZRWA window when enabled). data may be
+	// nil for a metadata-only write.
 	Write(now time.Duration, data []byte, n int, off int64) (time.Duration, error)
 	// Append writes n bytes at zone z's write pointer, returning the
 	// assigned device offset.
 	Append(now time.Duration, data []byte, n int, z int) (time.Duration, int64, error)
-	// Read reads len(p) bytes at off; must not cross the write pointer.
+	// Read reads len(p) bytes at off; must not cross the write pointer
+	// (uncommitted ZRWA window sectors that were written are readable).
 	Read(now time.Duration, p []byte, off int64) (time.Duration, error)
 	// Reset erases zone z.
 	Reset(now time.Duration, z int) (time.Duration, error)
@@ -130,26 +180,103 @@ type Zoned interface {
 	Close(z int) error
 }
 
+// ZRWACommitter is the optional interface of zoned devices with ZRWA
+// support; *Device and the fault wrapper implement it.
+type ZRWACommitter interface {
+	// CommitZRWA makes the first upTo bytes of zone z durable: buffered
+	// window sectors below upTo are programmed in order (holes as zeros)
+	// and the write pointer advances to upTo (zone-relative, sector
+	// aligned, at most one window past the current write pointer).
+	CommitZRWA(now time.Duration, z int, upTo int64) (time.Duration, error)
+}
+
+// zrwaWin is one zone's random-write window, indexed relative to the
+// zone's current write pointer. data is nil unless payloads are stored.
+type zrwaWin struct {
+	written []bool
+	data    []byte
+	high    int64 // 1 + highest written index; 0 when nothing buffered
+}
+
+// slide advances the window origin by shift sectors (after a commit).
+func (w *zrwaWin) slide(shift int64) {
+	if shift <= 0 {
+		return
+	}
+	n := int64(len(w.written))
+	if shift >= n {
+		for i := range w.written {
+			w.written[i] = false
+		}
+		w.high = 0
+		return
+	}
+	copy(w.written, w.written[shift:])
+	for i := n - shift; i < n; i++ {
+		w.written[i] = false
+	}
+	if w.data != nil {
+		copy(w.data, w.data[shift*device.SectorSize:])
+	}
+	w.high -= shift
+	if w.high < 0 {
+		w.high = 0
+	}
+}
+
+// takeCommitted copies out the payloads of the first k window sectors; nil
+// entries are holes or metadata-only sectors (programmed as zeros).
+func (w *zrwaWin) takeCommitted(k int64) [][]byte {
+	out := make([][]byte, k)
+	if w == nil {
+		return out
+	}
+	for i := int64(0); i < k && i < int64(len(w.written)); i++ {
+		if !w.written[i] || w.data == nil {
+			continue
+		}
+		buf := make([]byte, device.SectorSize)
+		copy(buf, w.data[i*device.SectorSize:(i+1)*device.SectorSize])
+		out[i] = buf
+	}
+	return out
+}
+
 // Device is a simulated ZNS SSD. Safe for concurrent use.
 type Device struct {
 	cfg      Config
 	array    *flash.Array
 	zoneSize int64
 	numZones int
+	stripe   flash.Stripe
+	winSec   int64 // ZRWA window in sectors; 0 when disabled
 
-	mu    sync.Mutex
-	state []ZoneState
-	wp    []int64 // sectors written, per zone
-	reset []uint64
-	open  int
-	lanes [][]sim.Busy // per-zone write-bandwidth lanes
+	mu     sync.Mutex
+	state  []ZoneState
+	wp     []int64 // sectors written (committed), per zone
+	reset  []uint64
+	open   int
+	active int
+	zrwa   []*zrwaWin   // lazily allocated per open zone; nil when disabled
+	lanes  [][]sim.Busy // per-zone write-bandwidth lanes
 
-	// Observability. The device never writes on its own behalf, so its WA
-	// factor is identically 1 — asserted in tests, relied on by Table 1.
+	// Observability. The device never writes on its own behalf (finishing a
+	// partial zone fills the tail, but only when the caller asks), so its WA
+	// factor is 1 in every normal-path run — asserted in tests, relied on by
+	// Table 1.
 	HostWrites stats.Counter // bytes
 	Resets     stats.Counter
 	Appends    stats.Counter
 	Finishes   stats.Counter
+	// FinishFill counts pages programmed to fill unwritten tails at finish —
+	// the zone-finish cost of partially written zones.
+	FinishFill stats.Counter
+	// ZRWACommits counts explicit commits; ZRWAImplicit counts writes that
+	// rolled the window forward; ZRWAAbsorbed counts sector overwrites the
+	// window absorbed without a flash program.
+	ZRWACommits  stats.Counter
+	ZRWAImplicit stats.Counter
+	ZRWAAbsorbed stats.Counter
 	// Trace receives zone lifecycle events; nil disables tracing.
 	Trace *obs.Tracer
 }
@@ -170,11 +297,53 @@ func New(cfg Config) (*Device, error) {
 	if cfg.MaxOpenZones <= 0 {
 		cfg.MaxOpenZones = 14 // ZN540 default
 	}
+	if cfg.MaxActiveZones == 0 {
+		// Every open zone holds an active slot, so the open cap is the
+		// natural floor for the active budget.
+		cfg.MaxActiveZones = cfg.MaxOpenZones
+	}
+	if cfg.MaxActiveZones < cfg.MaxOpenZones {
+		return nil, fmt.Errorf("%w: MaxActiveZones %d < MaxOpenZones %d "+
+			"(open zones are active, so the active budget cannot be below the open cap)",
+			ErrBadConfig, cfg.MaxActiveZones, cfg.MaxOpenZones)
+	}
 	if cfg.ZoneStripeLanes <= 0 {
 		cfg.ZoneStripeLanes = 4
 	}
 	if cfg.ZoneStripeLanes > cfg.BlocksPerZone {
 		cfg.ZoneStripeLanes = cfg.BlocksPerZone
+	}
+	ppb := cfg.Geometry.PagesPerBlock
+	if cfg.StripeChunkSectors == 0 {
+		c := 2
+		if c > ppb {
+			c = ppb
+		}
+		for ppb%c != 0 {
+			c--
+		}
+		cfg.StripeChunkSectors = c
+	}
+	stripe := flash.Stripe{Blocks: cfg.BlocksPerZone, ChunkPages: cfg.StripeChunkSectors}
+	if err := stripe.Validate(ppb); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	zoneSize := int64(cfg.BlocksPerZone) * cfg.Geometry.BlockBytes()
+	var winSec int64
+	if cfg.ZRWA {
+		if cfg.ZRWABytes == 0 {
+			cfg.ZRWABytes = 16 * device.SectorSize
+		}
+		if cfg.ZRWABytes < 0 || cfg.ZRWABytes%device.SectorSize != 0 {
+			return nil, fmt.Errorf("%w: ZRWABytes %d must be a positive sector multiple",
+				ErrBadConfig, cfg.ZRWABytes)
+		}
+		if cfg.ZRWABytes > zoneSize {
+			cfg.ZRWABytes = zoneSize
+		}
+		winSec = cfg.ZRWABytes / device.SectorSize
+	} else if cfg.ZRWABytes != 0 {
+		return nil, fmt.Errorf("%w: ZRWABytes %d set without ZRWA", ErrBadConfig, cfg.ZRWABytes)
 	}
 	arr, err := flash.NewArray(cfg.Geometry, cfg.Timing, cfg.StoreData)
 	if err != nil {
@@ -188,11 +357,14 @@ func New(cfg Config) (*Device, error) {
 	return &Device{
 		cfg:      cfg,
 		array:    arr,
-		zoneSize: int64(cfg.BlocksPerZone) * cfg.Geometry.BlockBytes(),
+		zoneSize: zoneSize,
 		numZones: n,
+		stripe:   stripe,
+		winSec:   winSec,
 		state:    make([]ZoneState, n),
 		wp:       make([]int64, n),
 		reset:    make([]uint64, n),
+		zrwa:     make([]*zrwaWin, n),
 		lanes:    lanes,
 	}, nil
 }
@@ -209,6 +381,9 @@ func (d *Device) Size() int64 { return d.zoneSize * int64(d.numZones) }
 // MaxOpenZones returns the open-zone cap.
 func (d *Device) MaxOpenZones() int { return d.cfg.MaxOpenZones }
 
+// MaxActiveZones returns the active-zone budget.
+func (d *Device) MaxActiveZones() int { return d.cfg.MaxActiveZones }
+
 // Array exposes the NAND for wear inspection.
 func (d *Device) Array() *flash.Array { return d.array }
 
@@ -219,13 +394,20 @@ func (d *Device) ZoneInfo(z int) (Zone, error) {
 	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return Zone{
+	info := Zone{
 		Index:  z,
 		State:  d.state[z],
 		Start:  int64(z) * d.zoneSize,
 		WP:     d.wp[z] * device.SectorSize,
 		Resets: d.reset[z],
-	}, nil
+	}
+	if d.cfg.ZRWA {
+		info.ZRWAWindow = d.cfg.ZRWABytes
+		if w := d.zrwa[z]; w != nil {
+			info.ZRWAPending = w.high * device.SectorSize
+		}
+	}
+	return info, nil
 }
 
 // Zones returns snapshots of all zones.
@@ -244,26 +426,68 @@ func (d *Device) OpenZones() int {
 	return d.open
 }
 
+// ActiveZones returns the number of zones holding an active slot.
+func (d *Device) ActiveZones() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.active
+}
+
 // zoneOf maps a device offset to its zone.
 func (d *Device) zoneOf(off int64) int { return int(off / d.zoneSize) }
 
-// addrFor maps (zone, sector-within-zone) to a flash page. Consecutive
-// sectors stripe across the zone's blocks, which interleave across dies, so
-// sequential zone writes parallelize like FTL-striped writes do.
+// addrFor maps (zone, sector-within-zone) to a flash page via the chunked
+// stripe: StripeChunkSectors consecutive sectors share a block (one die);
+// longer runs spread across the zone's blocks, which interleave across
+// dies, so sequential zone writes parallelize like FTL-striped writes do.
 func (d *Device) addrFor(z int, sector int64) flash.Addr {
-	bpz := int64(d.cfg.BlocksPerZone)
-	blockInZone := sector % bpz
-	page := sector / bpz
-	return flash.Addr{
-		Block: z*d.cfg.BlocksPerZone + int(blockInZone),
-		Page:  int(page),
+	return d.stripe.Addr(z*d.cfg.BlocksPerZone, sector)
+}
+
+// programRange programs count sectors of zone z starting at startSector.
+// payloads[i] is the content of sector startSector+i; a nil slice (or a nil
+// payloads when every sector is metadata-only) programs a zero page. Called
+// outside the device lock — the flash array does its own locking and the
+// range was reserved by the caller.
+func (d *Device) programRange(now time.Duration, z int, startSector, count int64, payloads [][]byte) (time.Duration, error) {
+	latest := now
+	tm := d.array.Timing()
+	nlanes := int64(len(d.lanes[z]))
+	for i := int64(0); i < count; i++ {
+		var page []byte
+		if payloads != nil {
+			page = payloads[i]
+		}
+		sector := startSector + i
+		// Per-zone bandwidth cap: each sector occupies one of the zone's
+		// stripe lanes for a program slot, independent of physical die
+		// availability. The observed completion is the later of the two.
+		lane := &d.lanes[z][sector%nlanes]
+		_, laneDone := lane.Acquire(now, tm.ProgPage+tm.Transfer)
+		done, err := d.array.Program(now, d.addrFor(z, sector), page)
+		if err != nil {
+			return 0, fmt.Errorf("zns: program: %w", err)
+		}
+		if laneDone > done {
+			done = laneDone
+		}
+		if done > latest {
+			latest = done
+		}
 	}
+	return latest, nil
 }
 
 // Write appends n bytes at offset off, which must equal the target zone's
-// write pointer. data may be nil for a metadata-only write. Implicitly
-// opens an empty/closed zone, honouring the open-zone cap; a write that
-// fills the zone transitions it to full and releases its open slot.
+// write pointer — or, with ZRWA enabled, fall anywhere inside the window
+// [wp, wp+ZRWABytes). data may be nil for a metadata-only write. Implicitly
+// opens an empty/closed zone, honouring the open-zone cap and active-zone
+// budget; a write that fills the zone transitions it to full and releases
+// both slots.
+//
+// With ZRWA, sectors are buffered in the window and only programmed when
+// committed; a write extending past the window end implicitly commits
+// everything below (end − ZRWABytes), holes included.
 func (d *Device) Write(now time.Duration, data []byte, n int, off int64) (time.Duration, error) {
 	if err := device.CheckRange(off, n, d.Size()); err != nil {
 		return 0, err
@@ -281,12 +505,19 @@ func (d *Device) Write(now time.Duration, data []byte, n int, off int64) (time.D
 
 	d.mu.Lock()
 	zStart := int64(z) * d.zoneSize
-	wpOff := zStart + d.wp[z]*device.SectorSize
-	if off != wpOff {
-		st := d.state[z]
+	wp := d.wp[z]
+	a := (off - zStart) / device.SectorSize
+	b := a + int64(n)/device.SectorSize
+	if d.state[z] == ZoneFull {
 		d.mu.Unlock()
-		if st == ZoneFull {
-			return 0, fmt.Errorf("%w: zone %d", ErrZoneFull, z)
+		return 0, fmt.Errorf("%w: zone %d", ErrZoneFull, z)
+	}
+	if a < wp || a > wp+d.winSec {
+		wpOff := zStart + wp*device.SectorSize
+		d.mu.Unlock()
+		if d.winSec > 0 {
+			return 0, fmt.Errorf("%w: zone %d zrwa=[%d,%d) got=%d",
+				ErrNotWritePointer, z, wpOff, wpOff+d.cfg.ZRWABytes, off)
 		}
 		return 0, fmt.Errorf("%w: zone %d wp=%d got=%d", ErrNotWritePointer, z, wpOff, off)
 	}
@@ -295,39 +526,103 @@ func (d *Device) Write(now time.Duration, data []byte, n int, off int64) (time.D
 		return 0, err
 	}
 
-	sectors := int64(n) / device.SectorSize
-	startSector := d.wp[z]
-	// Reserve the range under the lock, then program outside it: the flash
-	// array does its own locking and zones are independent.
-	d.wp[z] += sectors
-	if d.wp[z]*device.SectorSize == d.zoneSize {
+	// Everything the window can no longer hold commits now; with ZRWA off
+	// (winSec 0) that is the whole write, the strict sequential path.
+	newWP := b - d.winSec
+	if newWP < wp {
+		newWP = wp
+	}
+	// Buffered payloads committed ahead of the incoming data (sectors below
+	// a); the incoming part [a, newWP) is sliced straight from data in the
+	// program loop, keeping the strict path allocation-free.
+	var fromWin [][]byte
+	w := d.zrwa[z]
+	bufLow := newWP
+	if bufLow > a {
+		bufLow = a
+	}
+	if bufLow > wp {
+		fromWin = w.takeCommitted(bufLow - wp)
+	}
+	if d.winSec > 0 && newWP > wp {
+		d.ZRWAImplicit.Inc()
+	}
+	if d.winSec > 0 {
+		if w == nil {
+			w = &zrwaWin{written: make([]bool, d.winSec)}
+			if d.cfg.StoreData {
+				w.data = make([]byte, d.winSec*device.SectorSize)
+			}
+			d.zrwa[z] = w
+		}
+		w.slide(newWP - wp)
+		// Buffer the uncommitted tail of the write.
+		for s := a; s < b; s++ {
+			if s < newWP {
+				continue
+			}
+			idx := s - newWP
+			if w.written[idx] {
+				d.ZRWAAbsorbed.Inc()
+			} else {
+				w.written[idx] = true
+			}
+			if w.data != nil {
+				dst := w.data[idx*device.SectorSize : (idx+1)*device.SectorSize]
+				if data != nil {
+					copy(dst, data[(s-a)*device.SectorSize:(s-a+1)*device.SectorSize])
+				} else {
+					for i := range dst {
+						dst[i] = 0
+					}
+				}
+			}
+			if idx+1 > w.high {
+				w.high = idx + 1
+			}
+		}
+	}
+	d.wp[z] = newWP
+	if newWP*device.SectorSize == d.zoneSize {
+		d.releaseLocked(z)
 		d.state[z] = ZoneFull
-		d.open--
+		d.zrwa[z] = nil
 	}
 	d.mu.Unlock()
 
-	var latest time.Duration = now
+	latest := now
 	tm := d.array.Timing()
-	for i := int64(0); i < sectors; i++ {
-		var page []byte
-		if data != nil {
-			page = data[i*device.SectorSize : (i+1)*device.SectorSize]
-		}
-		sector := startSector + i
-		// Per-zone bandwidth cap: each sector occupies one of the zone's
-		// stripe lanes for a program slot, independent of physical die
-		// availability. The observed completion is the later of the two.
-		lane := &d.lanes[z][sector%int64(d.cfg.ZoneStripeLanes)]
-		_, laneDone := lane.Acquire(now, tm.ProgPage+tm.Transfer)
-		done, err := d.array.Program(now, d.addrFor(z, sector), page)
+	// Commit the buffered prefix, then the committed part of the incoming
+	// data.
+	if len(fromWin) > 0 {
+		done, err := d.programRange(now, z, wp, int64(len(fromWin)), fromWin)
 		if err != nil {
-			return 0, fmt.Errorf("zns: program: %w", err)
-		}
-		if laneDone > done {
-			done = laneDone
+			return 0, err
 		}
 		if done > latest {
 			latest = done
+		}
+	}
+	if newWP > a {
+		var payloads [][]byte
+		if data != nil {
+			payloads = make([][]byte, 0, newWP-a)
+			for s := a; s < newWP; s++ {
+				payloads = append(payloads, data[(s-a)*device.SectorSize:(s-a+1)*device.SectorSize])
+			}
+		}
+		done, err := d.programRange(now, z, a, newWP-a, payloads)
+		if err != nil {
+			return 0, err
+		}
+		if done > latest {
+			latest = done
+		}
+	}
+	// Buffered sectors only cross the bus into device RAM.
+	if buffered := b - newWP; buffered > 0 {
+		if t := now + time.Duration(buffered)*tm.Transfer; t > latest {
+			latest = t
 		}
 	}
 	d.HostWrites.Add(uint64(n))
@@ -352,17 +647,89 @@ func (d *Device) Append(now time.Duration, data []byte, n int, z int) (time.Dura
 	return lat, off, nil
 }
 
-// implicitOpenLocked transitions empty/closed → open, enforcing the cap.
+// CommitZRWA implements ZRWACommitter. Committing at or behind the write
+// pointer is a no-op; committing past the window end (or the zone end) is
+// rejected. A commit that reaches the zone end transitions it to full.
+func (d *Device) CommitZRWA(now time.Duration, z int, upTo int64) (time.Duration, error) {
+	if z < 0 || z >= d.numZones {
+		return 0, fmt.Errorf("%w: %d", ErrZoneRange, z)
+	}
+	if !d.cfg.ZRWA {
+		return 0, fmt.Errorf("%w: zone %d", ErrZRWADisabled, z)
+	}
+	if upTo < 0 || upTo > d.zoneSize {
+		return 0, fmt.Errorf("zns: commit offset %d outside zone: %w", upTo, device.ErrOutOfRange)
+	}
+	if upTo%device.SectorSize != 0 {
+		return 0, fmt.Errorf("zns: commit offset %d: %w", upTo, device.ErrAlignment)
+	}
+	d.mu.Lock()
+	target := upTo / device.SectorSize
+	wp := d.wp[z]
+	if target <= wp {
+		d.mu.Unlock()
+		return 0, nil
+	}
+	spz := d.zoneSize / device.SectorSize
+	limit := wp + d.winSec
+	if limit > spz {
+		limit = spz
+	}
+	if target > limit {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("%w: zone %d commit to %d beyond window end %d",
+			ErrNotWritePointer, z, upTo, limit*device.SectorSize)
+	}
+	if err := d.implicitOpenLocked(z); err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	w := d.zrwa[z]
+	payloads := w.takeCommitted(target - wp)
+	if w != nil {
+		w.slide(target - wp)
+	}
+	d.wp[z] = target
+	if target == spz {
+		d.releaseLocked(z)
+		d.state[z] = ZoneFull
+		d.zrwa[z] = nil
+	}
+	d.mu.Unlock()
+
+	latest, err := d.programRange(now, z, wp, target-wp, payloads)
+	if err != nil {
+		return 0, err
+	}
+	d.ZRWACommits.Inc()
+	return latest - now, nil
+}
+
+// implicitOpenLocked transitions empty/closed → open, enforcing the open
+// cap and (for empty zones, which must acquire an active slot) the active
+// budget.
 func (d *Device) implicitOpenLocked(z int) error {
 	switch d.state[z] {
 	case ZoneOpen:
 		return nil
-	case ZoneEmpty, ZoneClosed:
+	case ZoneClosed:
+		// Already active: reopening only needs an open slot.
 		if d.open >= d.cfg.MaxOpenZones {
 			return fmt.Errorf("%w: cap %d", ErrTooManyOpen, d.cfg.MaxOpenZones)
 		}
 		d.state[z] = ZoneOpen
 		d.open++
+		return nil
+	case ZoneEmpty:
+		if d.open >= d.cfg.MaxOpenZones {
+			return fmt.Errorf("%w: cap %d", ErrTooManyOpen, d.cfg.MaxOpenZones)
+		}
+		if d.active >= d.cfg.MaxActiveZones {
+			return fmt.Errorf("%w: budget %d", ErrTooManyActive, d.cfg.MaxActiveZones)
+		}
+		d.state[z] = ZoneOpen
+		d.open++
+		d.active++
 		return nil
 	case ZoneFull:
 		return fmt.Errorf("%w: zone %d", ErrZoneFull, z)
@@ -370,8 +737,21 @@ func (d *Device) implicitOpenLocked(z int) error {
 	return fmt.Errorf("zns: zone %d in unexpected state %v", z, d.state[z])
 }
 
+// releaseLocked returns zone z's open/active slots ahead of a transition to
+// full or empty.
+func (d *Device) releaseLocked(z int) {
+	switch d.state[z] {
+	case ZoneOpen:
+		d.open--
+		d.active--
+	case ZoneClosed:
+		d.active--
+	}
+}
+
 // Read reads len(p) bytes at off. Reads are random-access but must not
-// cross the write pointer — data above it does not exist yet.
+// cross the write pointer — except for ZRWA window sectors that have been
+// written, which are served from the (uncommitted) window buffer.
 func (d *Device) Read(now time.Duration, p []byte, off int64) (time.Duration, error) {
 	n := len(p)
 	if err := device.CheckRange(off, n, d.Size()); err != nil {
@@ -384,44 +764,79 @@ func (d *Device) Read(now time.Duration, p []byte, off int64) (time.Duration, er
 	if d.zoneOf(off+int64(n)-1) != z {
 		return 0, fmt.Errorf("%w: [%d,+%d)", ErrCrossZone, off, n)
 	}
-	d.mu.Lock()
 	zStart := int64(z) * d.zoneSize
-	wpOff := zStart + d.wp[z]*device.SectorSize
-	d.mu.Unlock()
-	if off+int64(n) > wpOff {
-		return 0, fmt.Errorf("%w: zone %d wp=%d read end=%d", ErrReadBeyondWP, z, wpOff, off+int64(n))
-	}
+	aSec := (off - zStart) / device.SectorSize
+	bSec := aSec + int64(n)/device.SectorSize
 
-	startSector := (off - zStart) / device.SectorSize
-	var latest time.Duration = now
-	for i := int64(0); i < int64(n)/device.SectorSize; i++ {
-		done, page, err := d.array.Read(now, d.addrFor(z, startSector+i))
+	d.mu.Lock()
+	wp := d.wp[z]
+	var buffered int64
+	if bSec > wp {
+		w := d.zrwa[z]
+		lo := aSec
+		if lo < wp {
+			lo = wp
+		}
+		for s := lo; s < bSec; s++ {
+			if w == nil || s-wp >= int64(len(w.written)) || !w.written[s-wp] {
+				d.mu.Unlock()
+				return 0, fmt.Errorf("%w: zone %d wp=%d read end=%d",
+					ErrReadBeyondWP, z, zStart+wp*device.SectorSize, off+int64(n))
+			}
+		}
+		for s := lo; s < bSec; s++ {
+			dst := p[(s-aSec)*device.SectorSize : (s-aSec+1)*device.SectorSize]
+			if w.data != nil {
+				copy(dst, w.data[(s-wp)*device.SectorSize:(s-wp+1)*device.SectorSize])
+			} else {
+				for i := range dst {
+					dst[i] = 0
+				}
+			}
+		}
+		buffered = bSec - lo
+	}
+	d.mu.Unlock()
+
+	flashEnd := bSec
+	if flashEnd > wp {
+		flashEnd = wp
+	}
+	latest := now
+	for s := aSec; s < flashEnd; s++ {
+		done, page, err := d.array.Read(now, d.addrFor(z, s))
 		if err != nil {
 			return 0, fmt.Errorf("zns: read: %w", err)
 		}
-		copy(p[i*device.SectorSize:(i+1)*device.SectorSize], page)
+		copy(p[(s-aSec)*device.SectorSize:(s-aSec+1)*device.SectorSize], page)
 		if done > latest {
 			latest = done
+		}
+	}
+	// Window sectors come out of device RAM: bus transfer only.
+	if buffered > 0 {
+		if t := now + time.Duration(buffered)*d.array.Timing().Transfer; t > latest {
+			latest = t
 		}
 	}
 	return latest - now, nil
 }
 
 // Reset erases zone z, returning it to empty with the write pointer at the
-// zone start. This is the application-controlled reclaim primitive:
-// Zone-Cache resets a zone per region eviction; the Region-Cache middle
-// layer resets after migrating live regions out.
+// zone start and releasing any open/active slot it held. This is the
+// application-controlled reclaim primitive: Zone-Cache resets a zone per
+// region eviction; the Region-Cache middle layer resets after migrating
+// live regions out.
 func (d *Device) Reset(now time.Duration, z int) (time.Duration, error) {
 	if z < 0 || z >= d.numZones {
 		return 0, fmt.Errorf("%w: %d", ErrZoneRange, z)
 	}
 	d.mu.Lock()
-	if d.state[z] == ZoneOpen {
-		d.open--
-	}
+	d.releaseLocked(z)
 	wasWritten := d.wp[z] * device.SectorSize
 	d.state[z] = ZoneEmpty
 	d.wp[z] = 0
+	d.zrwa[z] = nil
 	d.reset[z]++
 	d.mu.Unlock()
 	if d.Trace != nil {
@@ -448,43 +863,48 @@ func (d *Device) Reset(now time.Duration, z int) (time.Duration, error) {
 	return latest - now, nil
 }
 
-// Finish moves zone z's write pointer to the end, transitioning it to full.
-// Unwritten pages are simply never read (reads beyond old wp were already
-// refused; after finish, reads of unwritten space return zeros).
+// Finish moves zone z's write pointer to the end, transitioning it to full
+// and releasing its open/active slots. Buffered ZRWA sectors are persisted;
+// the unwritten tail is filled with zero pages at real program cost — the
+// zone-finish penalty that makes finishing a barely written zone expensive
+// on real drives. Finishing an already full zone is free.
 func (d *Device) Finish(now time.Duration, z int) (time.Duration, error) {
 	if z < 0 || z >= d.numZones {
 		return 0, fmt.Errorf("%w: %d", ErrZoneRange, z)
 	}
 	d.mu.Lock()
-	if d.state[z] == ZoneOpen {
-		d.open--
+	if d.state[z] == ZoneFull {
+		d.Finishes.Inc()
+		d.mu.Unlock()
+		return 0, nil
 	}
-	// Sectors between wp and end become readable-as-zero: mark them by
-	// moving wp; the flash pages stay unprogrammed and reads of them are
-	// served from the zero page below.
-	d.fillHolesLocked(z)
-	d.wp[z] = d.zoneSize / device.SectorSize
+	start := d.wp[z]
+	spz := d.zoneSize / device.SectorSize
+	fill := spz - start
+	var payloads [][]byte
+	if w := d.zrwa[z]; w != nil && w.high > 0 {
+		payloads = w.takeCommitted(fill)
+	}
+	d.releaseLocked(z)
+	d.wp[z] = spz
 	d.state[z] = ZoneFull
+	d.zrwa[z] = nil
 	d.Finishes.Inc()
 	d.mu.Unlock()
+
+	latest := now
+	if fill > 0 {
+		done, err := d.programRange(now, z, start, fill, payloads)
+		if err != nil {
+			return 0, fmt.Errorf("zns: finish fill: %w", err)
+		}
+		latest = done
+		d.FinishFill.Add(uint64(fill))
+	}
 	if d.Trace != nil {
 		d.Trace.Emit(obs.Event{T: now, Type: obs.EvZoneFinish, Zone: int32(z), Region: -1})
 	}
-	return 0, nil
-}
-
-// fillHolesLocked programs metadata-only pages over the unwritten tail so
-// subsequent reads below the (advanced) write pointer hit programmed pages.
-// Real devices map such reads to a deallocated-read; programming zero pages
-// is an equivalent observable behaviour and keeps the flash-state invariant
-// "readable ⇒ programmed" simple. Finishing is rare (only at device
-// shutdown in the schemes), so timing is not modelled.
-func (d *Device) fillHolesLocked(z int) {
-	sectorsPerZone := d.zoneSize / device.SectorSize
-	for s := d.wp[z]; s < sectorsPerZone; s++ {
-		// Ignore errors: pages beyond current write front only.
-		d.array.Program(0, d.addrFor(z, s), nil) //nolint:errcheck
-	}
+	return latest - now, nil
 }
 
 // MetricsInto implements obs.MetricSource: aggregate device counters plus a
@@ -497,8 +917,15 @@ func (d *Device) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	r.Counter("zns_zone_resets_total", "Zone reset commands executed", ls, &d.Resets)
 	r.Counter("zns_zone_appends_total", "Zone append commands executed", ls, &d.Appends)
 	r.Counter("zns_zone_finishes_total", "Zone finish commands executed", ls, &d.Finishes)
+	r.Counter("zns_finish_fill_pages_total", "Pages programmed to fill unwritten tails at zone finish", ls, &d.FinishFill)
+	r.Counter("zns_zrwa_commits_total", "Explicit ZRWA commits", ls, &d.ZRWACommits)
+	r.Counter("zns_zrwa_implicit_commits_total", "Writes that implicitly rolled the ZRWA window", ls, &d.ZRWAImplicit)
+	r.Counter("zns_zrwa_absorbed_writes_total", "Sector overwrites absorbed by the ZRWA window", ls, &d.ZRWAAbsorbed)
 	r.Gauge("zns_open_zones", "Zones currently in the open state", ls, func() float64 {
 		return float64(d.OpenZones())
+	})
+	r.Gauge("zns_active_zones", "Zones currently holding an active slot (open + closed)", ls, func() float64 {
+		return float64(d.ActiveZones())
 	})
 	r.Gauge("zns_zones", "Total zones exposed by the device", ls, func() float64 {
 		return float64(d.numZones)
@@ -521,10 +948,14 @@ func (d *Device) MetricsInto(r *obs.Registry, labels obs.Labels) {
 	}
 }
 
-var _ Zoned = (*Device)(nil)
+var (
+	_ Zoned         = (*Device)(nil)
+	_ ZRWACommitter = (*Device)(nil)
+)
 
 // Close transitions an open zone to closed, releasing its open slot while
-// preserving the write pointer.
+// preserving the write pointer and its active slot (a closed zone still
+// holds zone resources — only finish or reset frees the active budget).
 func (d *Device) Close(z int) error {
 	if z < 0 || z >= d.numZones {
 		return fmt.Errorf("%w: %d", ErrZoneRange, z)

@@ -136,7 +136,15 @@ func TestZoneFillTransitionsToFull(t *testing.T) {
 }
 
 func TestOpenZoneCapEnforced(t *testing.T) {
-	d := newTestDev(t) // cap 4
+	cfg := testConfig()
+	// Leave slack in the active budget so this test isolates the open cap:
+	// with budget == cap, closing a zone frees an open slot but not the
+	// active slot a new empty zone needs (covered by the active-zone tests).
+	cfg.MaxActiveZones = 6
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for z := 0; z < 4; z++ {
 		if _, err := d.Write(0, nil, device.SectorSize, int64(z)*d.ZoneSize()); err != nil {
 			t.Fatalf("open zone %d: %v", z, err)
@@ -158,6 +166,65 @@ func TestOpenZoneCapEnforced(t *testing.T) {
 	}
 	if _, err := d.Write(0, nil, device.SectorSize, device.SectorSize); err != nil {
 		t.Fatalf("reopen closed zone: %v", err)
+	}
+}
+
+func TestMaxActiveBelowOpenRejected(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxActiveZones = 2 // below MaxOpenZones 4
+	_, err := New(cfg)
+	if !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("MaxActiveZones < MaxOpenZones err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestActiveZoneBudgetEnforced(t *testing.T) {
+	d := newTestDev(t) // open cap 4, active budget defaults to 4
+	if d.MaxActiveZones() != 4 {
+		t.Fatalf("MaxActiveZones = %d, want defaulted 4", d.MaxActiveZones())
+	}
+	for z := 0; z < 4; z++ {
+		if _, err := d.Write(0, nil, device.SectorSize, int64(z)*d.ZoneSize()); err != nil {
+			t.Fatalf("open zone %d: %v", z, err)
+		}
+	}
+	// Closing frees an open slot but not the active slot: a new empty zone
+	// still cannot be opened.
+	if err := d.Close(0); err != nil {
+		t.Fatal(err)
+	}
+	if d.OpenZones() != 3 || d.ActiveZones() != 4 {
+		t.Fatalf("open=%d active=%d after close, want 3/4", d.OpenZones(), d.ActiveZones())
+	}
+	if _, err := d.Write(0, nil, device.SectorSize, 4*d.ZoneSize()); !errors.Is(err, ErrTooManyActive) {
+		t.Fatalf("open 5th with exhausted budget err = %v, want ErrTooManyActive", err)
+	}
+	// Finishing the closed zone returns its active slot.
+	if _, err := d.Finish(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.ActiveZones() != 3 {
+		t.Fatalf("ActiveZones = %d after finish, want 3", d.ActiveZones())
+	}
+	if _, err := d.Write(0, nil, device.SectorSize, 4*d.ZoneSize()); err != nil {
+		t.Fatalf("write after finish freed budget: %v", err)
+	}
+	// Reset frees it too.
+	if _, err := d.Reset(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if d.OpenZones() != 3 || d.ActiveZones() != 3 {
+		t.Fatalf("open=%d active=%d after reset, want 3/3", d.OpenZones(), d.ActiveZones())
+	}
+}
+
+func TestFullZoneHoldsNoActiveSlot(t *testing.T) {
+	d := newTestDev(t)
+	if _, err := d.Write(0, nil, int(d.ZoneSize()), 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.ActiveZones() != 0 {
+		t.Fatalf("ActiveZones = %d after auto-full, want 0", d.ActiveZones())
 	}
 }
 

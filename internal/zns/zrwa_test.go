@@ -1,0 +1,393 @@
+package zns
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"znscache/internal/device"
+)
+
+// zrwaConfig is testConfig with a 4-sector random-write window.
+func zrwaConfig() Config {
+	cfg := testConfig()
+	cfg.ZRWA = true
+	cfg.ZRWABytes = 4 * device.SectorSize
+	return cfg
+}
+
+func newZRWADev(t *testing.T) *Device {
+	t.Helper()
+	d, err := New(zrwaConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+// sectorPattern builds n sectors, each filled with a distinct byte derived
+// from tag and its index, so committed data can be traced back to the write
+// that produced it.
+func sectorPattern(tag byte, n int) []byte {
+	buf := make([]byte, n*device.SectorSize)
+	for s := 0; s < n; s++ {
+		for i := 0; i < device.SectorSize; i++ {
+			buf[s*device.SectorSize+i] = tag + byte(s)
+		}
+	}
+	return buf
+}
+
+func TestZRWAConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.ZRWABytes = device.SectorSize
+	if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("ZRWABytes without ZRWA: err = %v", err)
+	}
+	cfg = zrwaConfig()
+	cfg.ZRWABytes = device.SectorSize + 1
+	if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("unaligned ZRWABytes: err = %v", err)
+	}
+	cfg = zrwaConfig()
+	cfg.ZRWABytes = -device.SectorSize
+	if _, err := New(cfg); !errors.Is(err, ErrBadConfig) {
+		t.Fatalf("negative ZRWABytes: err = %v", err)
+	}
+	// Default window when enabled without a size.
+	cfg = zrwaConfig()
+	cfg.ZRWABytes = 0
+	d, err := New(cfg)
+	if err != nil {
+		t.Fatalf("defaulted ZRWABytes: %v", err)
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.ZRWAWindow != 16*device.SectorSize {
+		t.Fatalf("default window = %d, want %d", info.ZRWAWindow, 16*device.SectorSize)
+	}
+	// Oversized windows clamp to the zone size.
+	cfg = zrwaConfig()
+	cfg.ZRWABytes = 4 * d.ZoneSize()
+	d2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("oversized ZRWABytes: %v", err)
+	}
+	info, _ = d2.ZoneInfo(0)
+	if info.ZRWAWindow != d2.ZoneSize() {
+		t.Fatalf("clamped window = %d, want zone size %d", info.ZRWAWindow, d2.ZoneSize())
+	}
+}
+
+func TestCommitZRWADisabled(t *testing.T) {
+	d := newTestDev(t)
+	if _, err := d.CommitZRWA(0, 0, device.SectorSize); !errors.Is(err, ErrZRWADisabled) {
+		t.Fatalf("CommitZRWA on plain device: err = %v", err)
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.ZRWAWindow != 0 || info.ZRWAPending != 0 {
+		t.Fatalf("plain device reports window=%d pending=%d", info.ZRWAWindow, info.ZRWAPending)
+	}
+}
+
+// TestZRWABufferedWriteHoldsWP checks that writes landing inside the window
+// are buffered — the write pointer stays put, no flash pages are programmed,
+// and the pending gauge tracks the high-water mark.
+func TestZRWABufferedWriteHoldsWP(t *testing.T) {
+	d := newZRWADev(t)
+	// Write sector 2 of zone 0: ahead of wp 0 but inside the 4-sector window.
+	if _, err := d.Write(0, sectorPattern('a', 1), device.SectorSize, 2*device.SectorSize); err != nil {
+		t.Fatalf("window write: %v", err)
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.WP != 0 {
+		t.Fatalf("wp = %d after buffered write, want 0", info.WP)
+	}
+	if info.State != ZoneOpen {
+		t.Fatalf("state = %v, want OPEN", info.State)
+	}
+	if info.ZRWAPending != 3*device.SectorSize {
+		t.Fatalf("pending = %d, want %d", info.ZRWAPending, 3*device.SectorSize)
+	}
+	if got := d.Array().WriteFront(0); got != 0 {
+		t.Fatalf("block 0 write front = %d after buffered write, want 0 (no programs)", got)
+	}
+}
+
+// TestZRWAAbsorbsOverwrites checks that rewriting a buffered sector is
+// absorbed in the window — counted, latest data retained, nothing programmed.
+func TestZRWAAbsorbsOverwrites(t *testing.T) {
+	d := newZRWADev(t)
+	for i := 0; i < 3; i++ {
+		tag := byte('a' + i)
+		if _, err := d.Write(0, sectorPattern(tag, 1), device.SectorSize, device.SectorSize); err != nil {
+			t.Fatalf("overwrite %d: %v", i, err)
+		}
+	}
+	if got := d.ZRWAAbsorbed.Load(); got != 2 {
+		t.Fatalf("ZRWAAbsorbed = %d, want 2", got)
+	}
+	// The window serves the latest version back.
+	p := make([]byte, device.SectorSize)
+	if _, err := d.Read(0, p, device.SectorSize); err != nil {
+		t.Fatalf("read buffered sector: %v", err)
+	}
+	if !bytes.Equal(p, sectorPattern('c', 1)) {
+		t.Fatalf("buffered read returned stale data (byte 0 = %q, want 'c')", p[0])
+	}
+}
+
+// TestZRWAExplicitCommit checks CommitZRWA: buffered sectors below the commit
+// point are programmed in order (holes as zeros), the write pointer advances,
+// and the committed data reads back from flash.
+func TestZRWAExplicitCommit(t *testing.T) {
+	d := newZRWADev(t)
+	// Buffer sectors 0 and 2, leaving a hole at 1.
+	if _, err := d.Write(0, sectorPattern('x', 1), device.SectorSize, 0); err == nil {
+		// Window write at the wp itself commits immediately only when it
+		// slides past the window; at wp it buffers. Either way no error.
+	} else {
+		t.Fatalf("write sector 0: %v", err)
+	}
+	if _, err := d.Write(0, sectorPattern('z', 1), device.SectorSize, 2*device.SectorSize); err != nil {
+		t.Fatalf("write sector 2: %v", err)
+	}
+	lat, err := d.CommitZRWA(0, 0, 3*device.SectorSize)
+	if err != nil {
+		t.Fatalf("CommitZRWA: %v", err)
+	}
+	if lat <= 0 {
+		t.Fatalf("commit latency = %v, want > 0 (3 programs)", lat)
+	}
+	if got := d.ZRWACommits.Load(); got != 1 {
+		t.Fatalf("ZRWACommits = %d, want 1", got)
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.WP != 3*device.SectorSize {
+		t.Fatalf("wp = %d after commit, want %d", info.WP, 3*device.SectorSize)
+	}
+	if info.ZRWAPending != 0 {
+		t.Fatalf("pending = %d after commit, want 0", info.ZRWAPending)
+	}
+	p := make([]byte, 3*device.SectorSize)
+	if _, err := d.Read(0, p, 0); err != nil {
+		t.Fatalf("read committed range: %v", err)
+	}
+	if !bytes.Equal(p[:device.SectorSize], sectorPattern('x', 1)) {
+		t.Fatal("sector 0 mismatch after commit")
+	}
+	if !bytes.Equal(p[device.SectorSize:2*device.SectorSize], make([]byte, device.SectorSize)) {
+		t.Fatal("hole sector 1 not zero-filled")
+	}
+	if !bytes.Equal(p[2*device.SectorSize:], sectorPattern('z', 1)) {
+		t.Fatal("sector 2 mismatch after commit")
+	}
+	// Committing at or behind the wp is a no-op.
+	if lat, err := d.CommitZRWA(0, 0, device.SectorSize); err != nil || lat != 0 {
+		t.Fatalf("no-op commit = (%v, %v), want (0, nil)", lat, err)
+	}
+}
+
+// TestZRWAImplicitCommit checks the rolling commit: a write whose end extends
+// past the window forces everything below end−window onto flash.
+func TestZRWAImplicitCommit(t *testing.T) {
+	d := newZRWADev(t)
+	// Buffer sector 1 (hole at 0).
+	if _, err := d.Write(0, sectorPattern('b', 1), device.SectorSize, device.SectorSize); err != nil {
+		t.Fatalf("buffer sector 1: %v", err)
+	}
+	// Write sectors 2..5: end = 6, window = 4, so sectors 0..1 must commit.
+	if _, err := d.Write(0, sectorPattern('c', 4), 4*device.SectorSize, 2*device.SectorSize); err != nil {
+		t.Fatalf("rolling write: %v", err)
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.WP != 2*device.SectorSize {
+		t.Fatalf("wp = %d after implicit commit, want %d", info.WP, 2*device.SectorSize)
+	}
+	if got := d.ZRWAImplicit.Load(); got == 0 {
+		t.Fatal("ZRWAImplicit not counted")
+	}
+	if info.ZRWAPending != 4*device.SectorSize {
+		t.Fatalf("pending = %d, want %d", info.ZRWAPending, 4*device.SectorSize)
+	}
+	// Committed prefix: hole at 0, data at 1.
+	p := make([]byte, 2*device.SectorSize)
+	if _, err := d.Read(0, p, 0); err != nil {
+		t.Fatalf("read committed prefix: %v", err)
+	}
+	if !bytes.Equal(p[:device.SectorSize], make([]byte, device.SectorSize)) {
+		t.Fatal("hole sector 0 not zero-filled")
+	}
+	if !bytes.Equal(p[device.SectorSize:], sectorPattern('b', 1)) {
+		t.Fatal("sector 1 mismatch after implicit commit")
+	}
+}
+
+// TestZRWAWriteBounds checks rejection of writes behind the wp and beyond the
+// window end, and of commits past the window.
+func TestZRWAWriteBounds(t *testing.T) {
+	d := newZRWADev(t)
+	// Fill the first two sectors (implicitly commits nothing: end 2 < window 4).
+	if _, err := d.Write(0, sectorPattern('a', 2), 2*device.SectorSize, 0); err != nil {
+		t.Fatalf("seed write: %v", err)
+	}
+	// wp is still 0, window [0,4). A write starting at sector 5 is out.
+	if _, err := d.Write(0, sectorPattern('q', 1), device.SectorSize, 5*device.SectorSize); !errors.Is(err, ErrNotWritePointer) {
+		t.Fatalf("write beyond window: err = %v", err)
+	}
+	// Commit past the window end is rejected.
+	if _, err := d.CommitZRWA(0, 0, 5*device.SectorSize); !errors.Is(err, ErrNotWritePointer) {
+		t.Fatalf("commit beyond window: err = %v", err)
+	}
+	// Unaligned commit offset.
+	if _, err := d.CommitZRWA(0, 0, device.SectorSize+3); !errors.Is(err, device.ErrAlignment) {
+		t.Fatalf("unaligned commit: err = %v", err)
+	}
+	// Commit the pair, then a write behind the new wp is rejected.
+	if _, err := d.CommitZRWA(0, 0, 2*device.SectorSize); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if _, err := d.Write(0, sectorPattern('q', 1), device.SectorSize, 0); !errors.Is(err, ErrNotWritePointer) {
+		t.Fatalf("write behind wp: err = %v", err)
+	}
+}
+
+// TestZRWAReadRules checks reads against the window: written window sectors
+// are served, unwritten ones fail ErrReadBeyondWP even when below other
+// buffered sectors.
+func TestZRWAReadRules(t *testing.T) {
+	d := newZRWADev(t)
+	if _, err := d.Write(0, sectorPattern('k', 1), device.SectorSize, 2*device.SectorSize); err != nil {
+		t.Fatalf("buffer sector 2: %v", err)
+	}
+	p := make([]byte, device.SectorSize)
+	if _, err := d.Read(0, p, 2*device.SectorSize); err != nil {
+		t.Fatalf("read buffered sector 2: %v", err)
+	}
+	if !bytes.Equal(p, sectorPattern('k', 1)) {
+		t.Fatal("buffered sector 2 mismatch")
+	}
+	// Sector 1 is an unwritten hole below the buffered sector: unreadable.
+	if _, err := d.Read(0, p, device.SectorSize); !errors.Is(err, ErrReadBeyondWP) {
+		t.Fatalf("read hole: err = %v", err)
+	}
+	// A range spanning hole + buffered sector is also rejected, atomically.
+	q := make([]byte, 2*device.SectorSize)
+	if _, err := d.Read(0, q, device.SectorSize); !errors.Is(err, ErrReadBeyondWP) {
+		t.Fatalf("read spanning hole: err = %v", err)
+	}
+}
+
+// TestZRWAFinishPersistsWindow checks that Finish programs buffered window
+// sectors (with the rest of the tail zero-filled) before marking the zone
+// full, so a finish never loses window contents.
+func TestZRWAFinishPersistsWindow(t *testing.T) {
+	d := newZRWADev(t)
+	if _, err := d.Write(0, sectorPattern('w', 2), 2*device.SectorSize, device.SectorSize); err != nil {
+		t.Fatalf("buffer sectors 1-2: %v", err)
+	}
+	if _, err := d.Finish(0, 0); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.State != ZoneFull || info.WP != d.ZoneSize() {
+		t.Fatalf("after finish: state=%v wp=%d", info.State, info.WP)
+	}
+	if info.ZRWAPending != 0 {
+		t.Fatalf("pending = %d after finish", info.ZRWAPending)
+	}
+	if d.ActiveZones() != 0 {
+		t.Fatalf("ActiveZones = %d after finish, want 0", d.ActiveZones())
+	}
+	p := make([]byte, 2*device.SectorSize)
+	if _, err := d.Read(0, p, device.SectorSize); err != nil {
+		t.Fatalf("read persisted window: %v", err)
+	}
+	if !bytes.Equal(p, sectorPattern('w', 2)) {
+		t.Fatal("window contents lost at finish")
+	}
+	// The whole tail counts as finish fill.
+	spz := d.ZoneSize() / device.SectorSize
+	if got := d.FinishFill.Load(); got != uint64(spz) {
+		t.Fatalf("FinishFill = %d, want %d", got, spz)
+	}
+}
+
+// TestZRWAResetDiscardsWindow checks that Reset drops buffered sectors: after
+// the reset nothing is readable and the zone is empty with no pending bytes.
+func TestZRWAResetDiscardsWindow(t *testing.T) {
+	d := newZRWADev(t)
+	if _, err := d.Write(0, sectorPattern('r', 1), device.SectorSize, 0); err != nil {
+		t.Fatalf("buffer sector 0: %v", err)
+	}
+	if _, err := d.Reset(0, 0); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.State != ZoneEmpty || info.WP != 0 || info.ZRWAPending != 0 {
+		t.Fatalf("after reset: state=%v wp=%d pending=%d", info.State, info.WP, info.ZRWAPending)
+	}
+	p := make([]byte, device.SectorSize)
+	if _, err := d.Read(0, p, 0); !errors.Is(err, ErrReadBeyondWP) {
+		t.Fatalf("read after reset: err = %v", err)
+	}
+}
+
+// TestZRWACommitToZoneEnd checks that an explicit commit reaching the zone
+// end transitions it to full and releases both resource slots.
+func TestZRWACommitToZoneEnd(t *testing.T) {
+	d := newZRWADev(t)
+	spz := d.ZoneSize() / device.SectorSize
+	// Sequentially write (and implicitly roll) until the wp sits one window
+	// short of the end, then buffer the final sectors and commit to the end.
+	for s := int64(0); s < spz; s++ {
+		if _, err := d.Write(0, sectorPattern(byte(s), 1), device.SectorSize, s*device.SectorSize); err != nil {
+			t.Fatalf("write sector %d: %v", s, err)
+		}
+	}
+	info, _ := d.ZoneInfo(0)
+	if info.State == ZoneFull {
+		t.Fatal("zone reached FULL by writes alone; ZRWA zones must fill via commit or finish")
+	}
+	if _, err := d.CommitZRWA(0, 0, d.ZoneSize()); err != nil {
+		t.Fatalf("commit to zone end: %v", err)
+	}
+	info, _ = d.ZoneInfo(0)
+	if info.State != ZoneFull || info.WP != d.ZoneSize() {
+		t.Fatalf("after commit-to-end: state=%v wp=%d", info.State, info.WP)
+	}
+	if d.OpenZones() != 0 || d.ActiveZones() != 0 {
+		t.Fatalf("open=%d active=%d after commit-to-end", d.OpenZones(), d.ActiveZones())
+	}
+	// All data must read back intact, including the final window.
+	p := make([]byte, device.SectorSize)
+	for s := int64(0); s < spz; s++ {
+		if _, err := d.Read(0, p, s*device.SectorSize); err != nil {
+			t.Fatalf("read back sector %d: %v", s, err)
+		}
+		if p[0] != byte(s) {
+			t.Fatalf("sector %d byte 0 = %d, want %d", s, p[0], byte(s))
+		}
+	}
+}
+
+// TestZRWABufferedWriteLatency checks the cost model: a fully buffered write
+// is charged bus transfer only, strictly cheaper than a committed write of
+// the same size.
+func TestZRWABufferedWriteLatency(t *testing.T) {
+	d := newZRWADev(t)
+	buffered, err := d.Write(0, sectorPattern('a', 2), 2*device.SectorSize, 0)
+	if err != nil {
+		t.Fatalf("buffered write: %v", err)
+	}
+	d2 := newTestDev(t)
+	committed, err := d2.Write(0, sectorPattern('a', 2), 2*device.SectorSize, 0)
+	if err != nil {
+		t.Fatalf("committed write: %v", err)
+	}
+	if buffered <= 0 {
+		t.Fatalf("buffered latency = %v, want > 0 (bus transfer)", buffered)
+	}
+	if buffered >= committed {
+		t.Fatalf("buffered %v not cheaper than committed %v", buffered, committed)
+	}
+}
