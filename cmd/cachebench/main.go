@@ -9,6 +9,7 @@
 //	cachebench -experiment fig4    # OP-ratio sweep (Figure 4)
 //	cachebench -experiment table1  # WA factors under OP ratios (Table 1)
 //	cachebench -experiment contracts # zone-resource limit sweep (open/active caps)
+//	cachebench -experiment cluster # cluster tier: nodes × replication × skew
 //	cachebench -experiment all     # everything
 //
 // Scale flags shrink or grow the run; defaults regenerate the numbers in
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|admission|contracts|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|admission|contracts|cluster|all")
 		limits      = flag.String("limits", "", "comma-separated open-zone caps for -experiment contracts (default 14,8,4,2,1)")
 		admission   = flag.String("admission", "", "admission policy for every rig: all|prob:P|reject-first[:BITS,WINDOW]|dynamic-random[:WINDOW_MS]|frequency[:THRESHOLD]")
 		admitBudget = flag.Float64("admit-budget", 0, "device-write budget in bytes per simulated second (required by -admission dynamic-random; overrides the admission sweep's derived budgets)")
@@ -214,6 +215,26 @@ func main() {
 		harness.PrintContracts(os.Stdout, rows)
 		return report(harness.NewContractsReport(rows))
 	})
+	run("cluster", func() error {
+		points := harness.DefaultClusterSweep()
+		for i := range points {
+			if *ops != 0 {
+				points[i].Ops = *ops
+			}
+			if *keys != 0 {
+				points[i].Keys = int(*keys)
+			}
+			if *seed != 0 {
+				points[i].Seed = *seed
+			}
+		}
+		rows, err := harness.RunClusterSweep(points)
+		if err != nil {
+			return err
+		}
+		harness.PrintCluster(os.Stdout, rows)
+		return report(harness.NewClusterReport(rows))
+	})
 	run("fig3", func() error {
 		p := harness.DefaultFig3()
 		if *zones != 0 {
@@ -265,7 +286,7 @@ func main() {
 	}
 
 	switch *experiment {
-	case "all", "fig2", "fig3", "fig4", "table1", "smallzone", "admission", "contracts":
+	case "all", "fig2", "fig3", "fig4", "table1", "smallzone", "admission", "contracts", "cluster":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)

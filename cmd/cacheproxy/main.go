@@ -1,0 +1,173 @@
+// Command cacheproxy fronts a cluster of cacheservers with one memcached
+// endpoint. It is a server.Server whose backend is a cluster.Router: keys
+// consistent-hash across the configured nodes, writes replicate to R owners,
+// reads fail over across replicas (spreading over the whole replica set for
+// keys the hot-key detector promotes), and multigets scatter-gather one
+// pipelined exchange per backend. Clients cannot tell a proxy from a node —
+// same protocol in, scattered protocol out.
+//
+// Node syntax: -nodes takes a comma-separated list of "name=host:port" pairs
+// (bare "host:port" entries are named node-00, node-01, … in list order).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"znscache/internal/cluster"
+	"znscache/internal/obs"
+	"znscache/internal/server"
+)
+
+type options struct {
+	addr        string
+	nodes       string
+	replication int
+	vnodes      int
+	poolIdle    int
+	timeout     time.Duration
+	hotWindow   int
+	hotTopK     int
+	hotMinCount int
+	maxConns    int
+	maxValue    int
+	idle        time.Duration
+	drain       time.Duration
+	metricsAddr string
+}
+
+func main() {
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:11212", "listen address for the memcached protocol")
+	flag.StringVar(&o.nodes, "nodes", "", `backend cacheservers, comma-separated "name=host:port" (or bare "host:port")`)
+	flag.IntVar(&o.replication, "replication", 1, "replicas per key (writes go to R ring owners)")
+	flag.IntVar(&o.vnodes, "vnodes", cluster.DefaultVirtualNodes, "virtual nodes per member on the hash ring")
+	flag.IntVar(&o.poolIdle, "pool-idle", 4, "idle pooled connections kept per backend")
+	flag.DurationVar(&o.timeout, "timeout", 5*time.Second, "per-exchange backend timeout")
+	flag.IntVar(&o.hotWindow, "hot-window", 4096, "hot-key detector window in observed gets (0 disables hot-key read replication)")
+	flag.IntVar(&o.hotTopK, "hot-topk", 8, "keys each window may promote to read-from-any-replica")
+	flag.IntVar(&o.hotMinCount, "hot-min", 16, "minimum per-window count for hot-key promotion")
+	flag.IntVar(&o.maxConns, "max-conns", 1024, "client connection limit")
+	flag.IntVar(&o.maxValue, "max-value", 1<<20, "largest accepted value in bytes")
+	flag.DurationVar(&o.idle, "idle", 5*time.Minute, "idle client connection timeout")
+	flag.DurationVar(&o.drain, "drain", 10*time.Second, "graceful shutdown drain deadline")
+	flag.StringVar(&o.metricsAddr, "metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address")
+	flag.Parse()
+
+	if err := run(o); err != nil {
+		fmt.Fprintf(os.Stderr, "cacheproxy: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parseNodes turns the -nodes flag into cluster members.
+func parseNodes(spec string) ([]cluster.Node, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, fmt.Errorf("-nodes is required")
+	}
+	var nodes []cluster.Node
+	for i, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, addr := fmt.Sprintf("node-%02d", i), part
+		if eq := strings.IndexByte(part, '='); eq >= 0 {
+			name, addr = strings.TrimSpace(part[:eq]), strings.TrimSpace(part[eq+1:])
+		}
+		if name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -nodes entry %q", part)
+		}
+		nodes = append(nodes, cluster.Node{Name: name, Addr: addr})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-nodes named no backends")
+	}
+	return nodes, nil
+}
+
+func run(o options) error {
+	nodes, err := parseNodes(o.nodes)
+	if err != nil {
+		return err
+	}
+	rt, err := cluster.New(cluster.Config{
+		Nodes:        nodes,
+		Replication:  o.replication,
+		VirtualNodes: o.vnodes,
+		PoolIdle:     o.poolIdle,
+		Timeout:      o.timeout,
+		HotWindow:    o.hotWindow,
+		HotTopK:      o.hotTopK,
+		HotMinCount:  o.hotMinCount,
+	})
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+
+	reg := obs.NewRegistry()
+	srv, err := server.New(server.Config{
+		Addr:          o.addr,
+		Backend:       rt,
+		MaxConns:      o.maxConns,
+		MaxValueBytes: o.maxValue,
+		IdleTimeout:   o.idle,
+		StatsExtra: func() map[string]string {
+			m := rt.MetricsSnapshot()
+			return map[string]string{
+				"proxy_nodes":                fmt.Sprintf("%d", len(rt.Nodes())),
+				"proxy_replication":          fmt.Sprintf("%d", o.replication),
+				"proxy_hot_reads":            fmt.Sprintf("%d", m.HotReads),
+				"proxy_replica_reads":        fmt.Sprintf("%d", m.ReplicaReads),
+				"proxy_read_failovers":       fmt.Sprintf("%d", m.Failovers),
+				"proxy_backend_errors":       fmt.Sprintf("%d", m.BackendErrors),
+				"proxy_replica_write_errors": fmt.Sprintf("%d", m.ReplicaWriteErrors),
+				"proxy_ring_moves":           fmt.Sprintf("%d", m.RingMoves),
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	srv.MetricsInto(reg, obs.L("job", "cacheproxy"))
+	rt.MetricsInto(reg, obs.L("job", "cacheproxy"))
+	if o.metricsAddr != "" {
+		ms, err := obs.StartServer(o.metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer ms.Close() //nolint:errcheck
+		fmt.Fprintf(os.Stderr, "metrics on http://%s/metrics\n", ms.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve() }()
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.Name
+	}
+	fmt.Fprintf(os.Stderr, "proxying %s (R=%d) on %s\n", strings.Join(names, ","), o.replication, srv.Addr())
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "caught %v, draining (deadline %v)\n", sig, o.drain)
+	case err := <-errc:
+		return fmt.Errorf("serve: %w", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), o.drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "drain incomplete: %v\n", err)
+	}
+	return nil
+}

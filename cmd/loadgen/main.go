@@ -40,6 +40,7 @@ func main() {
 		delPct   = flag.Int("del-pct", 0, "delete share of the mix in percent")
 		seed     = flag.Uint64("seed", 1, "workload seed")
 		fill     = flag.Bool("fill", true, "set the key after a get miss (read-through fill)")
+		exptime  = flag.Int64("exptime", 0, "exptime on every set: <=30d relative TTL seconds, larger is absolute unix time, 0 no expiry")
 		multiget = flag.Int("multiget", 0, "group up to N consecutive gets into one multi-key get (<=1 disables)")
 		sizes    = flag.String("value-sizes", "", "comma-separated object sizes in bytes (default 512,1024,4096,8192,16384)")
 		weights  = flag.String("value-weights", "", "comma-separated weights matching -value-sizes")
@@ -83,6 +84,7 @@ func main() {
 		ValueWeights: valueWeights,
 		Seed:         *seed,
 		FillOnMiss:   *fill,
+		Exptime:      *exptime,
 		Multiget:     *multiget,
 		Progress:     *progress,
 		ProgressW:    os.Stderr,

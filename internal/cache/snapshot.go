@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"sort"
 )
 
 // Persistence ("warm roll"). A persistent cache must survive process
@@ -89,6 +90,26 @@ func (c *Cache) Snapshot() ([]byte, error) {
 		return nil, fmt.Errorf("cache: snapshot encode: %w", err)
 	}
 	return buf.Bytes(), nil
+}
+
+// SnapshotKeys decodes only the key set a snapshot's index records — the
+// warm set a cluster rebalance replays onto a joining node, without
+// rebuilding an engine. Keys are returned sorted so replays are
+// deterministic.
+func SnapshotKeys(snapshot []byte) ([]string, error) {
+	var s snapshotData
+	if err := gob.NewDecoder(bytes.NewReader(snapshot)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("cache: snapshot decode: %w", err)
+	}
+	if s.Version != snapshotVersion {
+		return nil, fmt.Errorf("cache: snapshot version %d unsupported", s.Version)
+	}
+	keys := make([]string, 0, len(s.Entries))
+	for i := range s.Entries {
+		keys = append(keys, s.Entries[i].Key)
+	}
+	sort.Strings(keys)
+	return keys, nil
 }
 
 // validate checks the snapshot's structural invariants so a corrupt or

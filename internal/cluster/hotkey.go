@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// HotKeys is a sliding-window hot-key detector: gets are counted into the
+// current window, and at each window boundary the top-k keys (above a
+// minimum count) are published as the hot set. Reads of hot keys may be
+// served by any replica instead of only the primary, flattening the load
+// imbalance a zipf-skewed workload piles onto the hot key's owner.
+//
+// Promotion and demotion are both automatic: the published set is recomputed
+// from scratch every window, so a key that cools off (a skew flip) drops out
+// one window later. IsHot is lock-free (an atomic pointer swap publishes the
+// set); Observe takes a mutex — the counting window is small and the proxy
+// calls it once per get, far from the per-byte hot path.
+type HotKeys struct {
+	window   int
+	topK     int
+	minCount int
+
+	mu   sync.Mutex
+	cur  map[string]int
+	seen int
+
+	hot        atomic.Pointer[map[string]struct{}]
+	promotions atomic.Uint64
+	demotions  atomic.Uint64
+}
+
+// NewHotKeys builds a detector: every window observations, the top-k keys
+// with at least minCount hits are promoted. window ≤ 0 disables detection
+// (IsHot is always false).
+func NewHotKeys(window, topK, minCount int) *HotKeys {
+	if topK <= 0 {
+		topK = 8
+	}
+	if minCount <= 0 {
+		minCount = 2
+	}
+	h := &HotKeys{
+		window:   window,
+		topK:     topK,
+		minCount: minCount,
+		cur:      make(map[string]int, 256),
+	}
+	empty := map[string]struct{}{}
+	h.hot.Store(&empty)
+	return h
+}
+
+// Observe counts one get of key, rotating the window at the boundary.
+func (h *HotKeys) Observe(key string) {
+	if h.window <= 0 {
+		return
+	}
+	h.mu.Lock()
+	h.cur[key]++
+	h.seen++
+	if h.seen >= h.window {
+		h.rotateLocked()
+	}
+	h.mu.Unlock()
+}
+
+// IsHot reports whether key was promoted in the last completed window.
+func (h *HotKeys) IsHot(key string) bool {
+	_, ok := (*h.hot.Load())[key]
+	return ok
+}
+
+// Hot returns the current hot set's keys (unordered, a copy).
+func (h *HotKeys) Hot() []string {
+	set := *h.hot.Load()
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Promotions and Demotions report how many keys entered/left the hot set
+// across all window rotations.
+func (h *HotKeys) Promotions() uint64 { return h.promotions.Load() }
+func (h *HotKeys) Demotions() uint64  { return h.demotions.Load() }
+
+// rotateLocked publishes the window's top-k as the new hot set and starts a
+// fresh window. Called with h.mu held.
+func (h *HotKeys) rotateLocked() {
+	type kc struct {
+		k string
+		c int
+	}
+	cand := make([]kc, 0, len(h.cur))
+	for k, c := range h.cur {
+		if c >= h.minCount {
+			cand = append(cand, kc{k, c})
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool {
+		if cand[i].c != cand[j].c {
+			return cand[i].c > cand[j].c
+		}
+		return cand[i].k < cand[j].k // deterministic ties
+	})
+	if len(cand) > h.topK {
+		cand = cand[:h.topK]
+	}
+	next := make(map[string]struct{}, len(cand))
+	for _, e := range cand {
+		next[e.k] = struct{}{}
+	}
+	prev := *h.hot.Load()
+	for k := range next {
+		if _, ok := prev[k]; !ok {
+			h.promotions.Add(1)
+		}
+	}
+	for k := range prev {
+		if _, ok := next[k]; !ok {
+			h.demotions.Add(1)
+		}
+	}
+	h.hot.Store(&next)
+	clear(h.cur)
+	h.seen = 0
+}

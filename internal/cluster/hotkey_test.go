@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestHotKeyPromotionDemotionOnSkewFlip drives a skewed window at one key,
+// asserts promotion, then flips the skew to another key and asserts the old
+// one demotes and the new one promotes within one window.
+func TestHotKeyPromotionDemotionOnSkewFlip(t *testing.T) {
+	h := NewHotKeys(1000, 4, 10)
+
+	// Window 1: keyA dominates, background keys stay under minCount.
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			h.Observe("keyA")
+		} else {
+			h.Observe(fmt.Sprintf("bg-%d", i)) // each seen once
+		}
+	}
+	if !h.IsHot("keyA") {
+		t.Fatal("keyA not promoted after a skewed window")
+	}
+	if h.IsHot("bg-1") {
+		t.Fatal("one-hit background key promoted")
+	}
+	if h.Promotions() == 0 {
+		t.Fatal("promotion counter not incremented")
+	}
+
+	// Window 2: the skew flips to keyB; keyA goes cold.
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			h.Observe("keyB")
+		} else {
+			h.Observe(fmt.Sprintf("bg2-%d", i))
+		}
+	}
+	if h.IsHot("keyA") {
+		t.Fatal("keyA still hot after the skew flipped")
+	}
+	if !h.IsHot("keyB") {
+		t.Fatal("keyB not promoted after the flip")
+	}
+	if h.Demotions() == 0 {
+		t.Fatal("demotion counter not incremented")
+	}
+}
+
+// TestHotKeyTopKBound: no window promotes more than topK keys, and the
+// selection is the most-counted ones.
+func TestHotKeyTopKBound(t *testing.T) {
+	h := NewHotKeys(600, 2, 2)
+	// Three contenders with distinct counts: 300, 200, 100.
+	for i := 0; i < 300; i++ {
+		h.Observe("big")
+		if i < 200 {
+			h.Observe("mid")
+		}
+		if i < 100 {
+			h.Observe("small")
+		}
+	}
+	if got := len(h.Hot()); got > 2 {
+		t.Fatalf("hot set has %d keys, topK is 2", got)
+	}
+	if !h.IsHot("big") || !h.IsHot("mid") {
+		t.Fatalf("top-2 selection wrong: hot=%v", h.Hot())
+	}
+	if h.IsHot("small") {
+		t.Fatal("third-place key promoted past topK")
+	}
+}
+
+// TestHotKeyDisabled: window 0 never promotes and never blocks.
+func TestHotKeyDisabled(t *testing.T) {
+	h := NewHotKeys(0, 4, 1)
+	for i := 0; i < 10_000; i++ {
+		h.Observe("k")
+	}
+	if h.IsHot("k") {
+		t.Fatal("disabled detector promoted a key")
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"znscache/internal/obs"
+	"znscache/internal/stats"
+)
+
+// rmetrics are the Router's instruments, registered by reference (the obs
+// convention) so a /metrics scrape on the proxy reads the same atomics the
+// routing path increments.
+type rmetrics struct {
+	gets    stats.Counter // routed get lookups (per key)
+	sets    stats.Counter // routed sets
+	deletes stats.Counter // routed deletes
+
+	hotReads     stats.Counter // reads routed by hot-key replication
+	replicaReads stats.Counter // reads served by a non-primary replica
+	failovers    stats.Counter // read attempts beyond the first replica tried
+
+	backendErrors      stats.Counter // transport/protocol errors talking to backends
+	replicaWriteErrors stats.Counter // replica (non-primary) write failures
+
+	ringMoves  stats.Counter // keys copied to a new owner by join/leave warming
+	rebalances stats.Counter // topology changes (join, leave, mark-down)
+	nodesDown  stats.Counter // members removed as crashed
+}
+
+// Metrics is a point-in-time copy of the Router's counters, for tests and
+// the bench harness.
+type Metrics struct {
+	Gets, Sets, Deletes               uint64
+	HotReads, ReplicaReads, Failovers uint64
+	BackendErrors, ReplicaWriteErrors uint64
+	RingMoves, Rebalances, NodesDown  uint64
+}
+
+// MetricsSnapshot reads every counter once.
+func (rt *Router) MetricsSnapshot() Metrics {
+	m := &rt.m
+	return Metrics{
+		Gets:               m.gets.Load(),
+		Sets:               m.sets.Load(),
+		Deletes:            m.deletes.Load(),
+		HotReads:           m.hotReads.Load(),
+		ReplicaReads:       m.replicaReads.Load(),
+		Failovers:          m.failovers.Load(),
+		BackendErrors:      m.backendErrors.Load(),
+		ReplicaWriteErrors: m.replicaWriteErrors.Load(),
+		RingMoves:          m.ringMoves.Load(),
+		Rebalances:         m.rebalances.Load(),
+		NodesDown:          m.nodesDown.Load(),
+	}
+}
+
+// MetricsInto implements obs.MetricSource: the router's instruments register
+// under cluster_* names with the caller's labels.
+func (rt *Router) MetricsInto(r *obs.Registry, labels obs.Labels) {
+	m := &rt.m
+	r.Counter("cluster_ops_total", "Routed operations by verb", labels.With("verb", "get"), &m.gets)
+	r.Counter("cluster_ops_total", "Routed operations by verb", labels.With("verb", "set"), &m.sets)
+	r.Counter("cluster_ops_total", "Routed operations by verb", labels.With("verb", "delete"), &m.deletes)
+	r.Counter("cluster_hot_reads_total", "Reads routed by hot-key replication", labels, &m.hotReads)
+	r.Counter("cluster_replica_reads_total", "Reads served by a non-primary replica", labels, &m.replicaReads)
+	r.Counter("cluster_read_failovers_total", "Read attempts beyond the first replica", labels, &m.failovers)
+	r.Counter("cluster_backend_errors_total", "Transport/protocol errors talking to backends", labels, &m.backendErrors)
+	r.Counter("cluster_replica_write_errors_total", "Replica (non-primary) write failures", labels, &m.replicaWriteErrors)
+	r.Counter("cluster_ring_moves_total", "Keys copied to new owners by rebalance warming", labels, &m.ringMoves)
+	r.Counter("cluster_rebalances_total", "Topology changes (join, leave, mark-down)", labels, &m.rebalances)
+	r.Counter("cluster_nodes_down_total", "Members removed as crashed", labels, &m.nodesDown)
+	r.Gauge("cluster_nodes", "Current member count", labels, func() float64 {
+		rt.mu.RLock()
+		defer rt.mu.RUnlock()
+		return float64(len(rt.members))
+	})
+	r.Gauge("cluster_hot_keys", "Keys in the current hot set", labels, func() float64 {
+		return float64(len(*rt.hot.hot.Load()))
+	})
+}

@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+
+	"znscache/internal/server"
+)
+
+// pool is a per-backend connection pool of pipelined server.Clients.
+// Checkout semantics: get hands the caller an idle connection (dialing one
+// when the pool is dry), put returns it, drop closes it (transport errors
+// poison a pipelined client, so a failed exchange never returns to the
+// pool). A closed pool refuses new checkouts; connections returned after
+// close are closed on the spot.
+type pool struct {
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	free   []*server.Client
+	max    int // max idle connections retained
+	closed bool
+}
+
+func newPool(addr string, maxIdle int, timeout time.Duration) *pool {
+	if maxIdle <= 0 {
+		maxIdle = 4
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &pool{addr: addr, max: maxIdle, free: make([]*server.Client, 0, maxIdle), timeout: timeout}
+}
+
+func (p *pool) get() (*server.Client, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errPoolClosed
+	}
+	if n := len(p.free); n > 0 {
+		cl := p.free[n-1]
+		p.free = p.free[:n-1]
+		p.mu.Unlock()
+		return cl, nil
+	}
+	p.mu.Unlock()
+	cl, err := server.Dial(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	cl.Timeout = p.timeout
+	return cl, nil
+}
+
+func (p *pool) put(cl *server.Client) {
+	p.mu.Lock()
+	if p.closed || len(p.free) >= p.max {
+		p.mu.Unlock()
+		cl.Close() //nolint:errcheck
+		return
+	}
+	p.free = append(p.free, cl)
+	p.mu.Unlock()
+}
+
+func (p *pool) drop(cl *server.Client) {
+	cl.Close() //nolint:errcheck
+}
+
+func (p *pool) close() {
+	p.mu.Lock()
+	frees := p.free
+	p.free = nil
+	p.closed = true
+	p.mu.Unlock()
+	for _, cl := range frees {
+		cl.Close() //nolint:errcheck
+	}
+}

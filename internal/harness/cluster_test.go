@@ -1,0 +1,71 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestRunClusterSmoke drives one small benchmark point end to end: real
+// loopback nodes, router in front, zipf read-through traffic.
+func TestRunClusterSmoke(t *testing.T) {
+	res, err := RunCluster(ClusterParams{
+		Nodes: 3, Replication: 2, Keys: 256, Ops: 1500,
+		HotWindow: 200, HotTopK: 4, HotMinCount: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 1500 || res.Gets == 0 || res.Sets == 0 {
+		t.Fatalf("op accounting off: %+v", res)
+	}
+	if res.HitRatio <= 0 || res.HitRatio > 1 {
+		t.Fatalf("hit ratio %v out of range", res.HitRatio)
+	}
+	if res.BackendErrs != 0 {
+		t.Fatalf("healthy run hit %d backend errors", res.BackendErrs)
+	}
+	if len(res.NodeGets) != 3 || res.Balance < 1 {
+		t.Fatalf("balance accounting off: gets=%v balance=%v", res.NodeGets, res.Balance)
+	}
+	if res.HotReads == 0 {
+		t.Fatal("zipf 0.99 never engaged the hot-key detector")
+	}
+}
+
+// TestClusterDrillReplicated: with R=2, killing one node mid-run must lose
+// nothing — every acked key is served by its surviving replica with correct
+// bytes.
+func TestClusterDrillReplicated(t *testing.T) {
+	for _, seed := range []uint64{1, 7} {
+		rep, err := RunClusterDrill(ClusterDrillParams{Seed: seed, Replication: 2})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := rep.Err(); err != nil {
+			t.Fatalf("seed %d: %v (report %+v)", seed, err, rep)
+		}
+		if rep.AckedKeys == 0 || rep.Hits == 0 {
+			t.Fatalf("seed %d: drill exercised nothing: %+v", seed, rep)
+		}
+		if rep.Lost != 0 {
+			t.Fatalf("seed %d: R=2 lost %d keys to a single death", seed, rep.Lost)
+		}
+	}
+}
+
+// TestClusterDrillUnreplicated: with R=1 the victim's keys are legitimately
+// lost — counted, attributed to the victim, and never served as wrong data.
+func TestClusterDrillUnreplicated(t *testing.T) {
+	rep, err := RunClusterDrill(ClusterDrillParams{Seed: 3, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Err(); err != nil {
+		t.Fatalf("%v (report %+v)", err, rep)
+	}
+	if rep.Lost == 0 {
+		t.Fatalf("R=1 drill lost nothing — victim owned no keys? %+v", rep)
+	}
+	if rep.Hits == 0 {
+		t.Fatalf("survivors served nothing: %+v", rep)
+	}
+}

@@ -182,6 +182,33 @@ type Report struct {
 	Admission  []AdmissionRowJSON `json:"admission,omitempty"`
 	Serve      []ServeRowJSON     `json:"serve,omitempty"`
 	Contracts  []ContractsRowJSON `json:"contracts,omitempty"`
+	Cluster    []ClusterRowJSON   `json:"cluster,omitempty"`
+}
+
+// ClusterRowJSON is one cluster benchmark point (ClusterResult) in wire
+// form. Balance is max per-node gets over the mean (1.0 = perfectly even);
+// node_gets is per-node cmd_get in sorted node-name order.
+type ClusterRowJSON struct {
+	Nodes         int      `json:"nodes"`
+	Replication   int      `json:"replication"`
+	ZipfTheta     float64  `json:"zipf_theta"`
+	HotWindow     int      `json:"hot_window"`
+	OpsPerSec     float64  `json:"ops_per_sec"`
+	HitRatio      float64  `json:"hit_ratio"`
+	Ops           uint64   `json:"ops"`
+	Gets          uint64   `json:"gets"`
+	Sets          uint64   `json:"sets"`
+	Hits          uint64   `json:"hits"`
+	Misses        uint64   `json:"misses"`
+	ElapsedNs     int64    `json:"elapsed_ns"`
+	P50Ns         int64    `json:"p50_ns"`
+	P99Ns         int64    `json:"p99_ns"`
+	NodeGets      []uint64 `json:"node_gets"`
+	Balance       float64  `json:"balance"`
+	HotReads      uint64   `json:"hot_reads"`
+	ReplicaReads  uint64   `json:"replica_reads"`
+	Failovers     uint64   `json:"failovers"`
+	BackendErrors uint64   `json:"backend_errors"`
 }
 
 // ContractsRowJSON is ContractsRow in wire form.
@@ -436,6 +463,49 @@ func NewContractsReport(rows []ContractsRow) *Report {
 	return rep
 }
 
+// NewClusterReport wraps cluster sweep rows as a Report.
+func NewClusterReport(rows []ClusterResult) *Report {
+	rep := &Report{Schema: ReportSchema, Experiment: "cluster"}
+	for _, r := range rows {
+		rep.Cluster = append(rep.Cluster, ClusterRowJSON{
+			Nodes:         r.Nodes,
+			Replication:   r.Replication,
+			ZipfTheta:     r.ZipfTheta,
+			HotWindow:     r.HotWindow,
+			OpsPerSec:     r.OpsPerSec,
+			HitRatio:      r.HitRatio,
+			Ops:           r.Ops,
+			Gets:          r.Gets,
+			Sets:          r.Sets,
+			Hits:          r.Hits,
+			Misses:        r.Misses,
+			ElapsedNs:     int64(r.Elapsed),
+			P50Ns:         int64(r.P50),
+			P99Ns:         int64(r.P99),
+			NodeGets:      r.NodeGets,
+			Balance:       r.Balance,
+			HotReads:      r.HotReads,
+			ReplicaReads:  r.ReplicaReads,
+			Failovers:     r.Failovers,
+			BackendErrors: r.BackendErrs,
+		})
+	}
+	return rep
+}
+
+// PrintCluster renders the cluster sweep.
+func PrintCluster(w io.Writer, rows []ClusterResult) {
+	fmt.Fprintln(w, "Cluster tier — node count × replication × skew (loopback cacheproxy routing)")
+	fmt.Fprintf(w, "%-6s %3s %6s %8s %12s %10s %8s %10s %10s %9s %9s\n",
+		"nodes", "R", "theta", "hotwin", "ops/sec", "hit-ratio", "balance", "p50", "p99", "hot-rds", "repl-rds")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6d %3d %6.2f %8d %12.0f %9.2f%% %8.2f %10s %10s %9d %9d\n",
+			r.Nodes, r.Replication, r.ZipfTheta, r.HotWindow, r.OpsPerSec,
+			r.HitRatio*100, r.Balance, fmtDur(r.P50), fmtDur(r.P99),
+			r.HotReads, r.ReplicaReads)
+	}
+}
+
 // Validate checks the document invariants: the schema tag matches, the
 // experiment is named, and the named experiment's section is the one that is
 // populated.
@@ -453,6 +523,7 @@ func (r *Report) Validate() error {
 		"admission":   r.Admission != nil,
 		"serve":       r.Serve != nil,
 		"contracts":   r.Contracts != nil,
+		"cluster":     r.Cluster != nil,
 	}
 	populated, known := sections[r.Experiment]
 	if !known {

@@ -288,9 +288,10 @@ func (c *Client) readGetResp() (Resp, error) {
 
 // readMultiGetResp parses one multiget response — the hits' VALUE blocks in
 // request key order, then END — and appends one Resp per requested key to
-// out. Keys absent from the response are misses. A terminal error line (the
-// server truncates the response there, no END follows) is reported on every
-// key not yet answered.
+// out. Keys absent from an END-terminated response are misses. A terminal
+// error line (the server truncates the response there, no END follows) is
+// reported on every key not answered by a VALUE block: without the END, a
+// skipped key cannot be distinguished from one the server never reached.
 func (c *Client) readMultiGetResp(keys []string, out []Resp) ([]Resp, error) {
 	base := len(out)
 	for range keys {
@@ -325,8 +326,17 @@ func (c *Client) readMultiGetResp(keys []string, out []Resp) ([]Resp, error) {
 			out[base+next] = r
 			next++
 		case isErrorLineB(line):
-			for i := next; i < len(keys); i++ {
-				out[base+i].Err = string(line)
+			// The error truncates the response (no END follows), so nothing
+			// distinguishes a key the server answered-by-omission from one it
+			// never reached: every key without a VALUE block is unresolved —
+			// including those already skipped past as presumed misses — and
+			// must carry the error rather than read as a plain miss. The
+			// proxy's scatter-gather depends on this: an unresolved key must
+			// not be reported to its client as authoritative absence.
+			for i := range keys {
+				if !out[base+i].Hit {
+					out[base+i].Err = string(line)
+				}
 			}
 			return out, nil
 		default:

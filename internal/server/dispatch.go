@@ -47,10 +47,13 @@ const (
 	opMsg // pre-decided response line (protocol errors)
 )
 
-// set execution modes (memcached exptime semantics resolved at parse time).
+// set execution modes (memcached exptime semantics resolved at parse time,
+// except setTTLAbs whose remaining TTL depends on the owning shard's clock
+// and is therefore resolved at execution time).
 const (
 	setStore uint8 = iota
 	setTTL
+	setTTLAbs // op.ttl is a deadline on the backend clock, not a TTL
 	setDelete // exptime in the past: observably identical to a delete
 )
 
@@ -81,7 +84,7 @@ type op struct {
 	k0, k1  int           // opGet: key span in batch.keys
 	key     string        // opSet/opDel key
 	body    []byte        // opSet: flags-prefixed value, ready for the store
-	ttl     time.Duration // opSet with setTTL
+	ttl     time.Duration // opSet: TTL (setTTL) or backend-clock deadline (setTTLAbs)
 	msg     string        // opMsg response line
 	err     error         // opSet execution error
 	found   bool          // opDel execution result
@@ -408,12 +411,19 @@ func (s *Server) parseSet(c *conn, br *bufio.Reader) parseResult {
 		o.setMode = setStore
 	case exptime < 0:
 		o.setMode = setDelete
+	case exptime <= relativeExpCutoff:
+		o.setMode = setTTL
+		o.ttl = time.Duration(exptime) * time.Second
 	default:
-		if ttl := expTTL(exptime); ttl <= 0 {
+		// Absolute unix exptime: convert to a backend-clock deadline now,
+		// but resolve the remaining TTL at execution time on the owning
+		// shard's clock (execTTLAbs) so it lands on the same clock as
+		// relative TTLs.
+		if deadline := s.expDeadline(exptime); deadline <= 0 {
 			o.setMode = setDelete
 		} else {
-			o.setMode = setTTL
-			o.ttl = ttl
+			o.setMode = setTTLAbs
+			o.ttl = deadline
 		}
 	}
 	b.bodyBytes += len(body)
@@ -539,6 +549,10 @@ func (s *Server) execInline(b *batch) {
 		o := &b.ops[i]
 		switch o.kind {
 		case opGet:
+			if s.multi != nil && o.k1-o.k0 > 1 {
+				s.multi.GetMulti(b.keys[o.k0:o.k1], b.vals[o.k0:o.k1], b.hits[o.k0:o.k1], b.errs[o.k0:o.k1])
+				break
+			}
 			for j := o.k0; j < o.k1; j++ {
 				b.vals[j], b.hits[j], b.errs[j] = be.Get(b.keys[j])
 			}
@@ -548,6 +562,12 @@ func (s *Server) execInline(b *batch) {
 				o.err = be.Set(o.key, o.body)
 			case setTTL:
 				o.err = be.SetWithTTL(o.key, o.body, o.ttl)
+			case setTTLAbs:
+				if ttl := o.ttl - s.backendNow(o.key); ttl <= 0 {
+					be.Delete(o.key)
+				} else {
+					o.err = be.SetWithTTL(o.key, o.body, ttl)
+				}
 			case setDelete:
 				be.Delete(o.key)
 			}
@@ -693,6 +713,12 @@ func (s *Server) execShardGroup(b *batch, shard int, idxs []int32) {
 					o.err = eng.SetOwned(o.key, o.body, 0)
 				case setTTL:
 					o.err = eng.SetTTLOwned(o.key, o.body, 0, o.ttl)
+				case setTTLAbs:
+					if ttl := o.ttl - eng.Clock().Now(); ttl <= 0 {
+						eng.Delete(o.key)
+					} else {
+						o.err = eng.SetTTLOwned(o.key, o.body, 0, ttl)
+					}
 				case setDelete:
 					eng.Delete(o.key)
 				}

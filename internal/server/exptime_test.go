@@ -1,0 +1,160 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// clockedBackend is a mapBackend with a controllable per-shard simulated
+// clock: the regression tests for the absolute-exptime fix drive the clock
+// explicitly and assert the stored TTLs are exact functions of it (no
+// wall-clock reading can produce exact equality).
+type clockedBackend struct {
+	*mapBackend
+	now atomic.Int64 // simulated shard time, time.Duration ticks
+}
+
+func newClockedBackend() *clockedBackend {
+	return &clockedBackend{mapBackend: newMapBackend()}
+}
+
+func (b *clockedBackend) ShardNow(key string) time.Duration {
+	return time.Duration(b.now.Load())
+}
+
+// ttlLog reads the recorded (ttl, count) state; see mapBackend.ttlState.
+func (b *clockedBackend) set(t *testing.T, cl *Client, key string, exptime int64) {
+	t.Helper()
+	if _, err := cl.Set(key, 0, exptime, []byte("v")); err != nil {
+		t.Fatalf("set %s exptime=%d: %v", key, exptime, err)
+	}
+}
+
+// TestExptimeCutoffBoundaryOnShardClock pins WallBase and drives the shard
+// clock directly, asserting the 30-day-rule boundary:
+//
+//   - exptime == relativeExpCutoff: relative — TTL is exactly exptime
+//     seconds, the shard clock's position is irrelevant;
+//   - exptime == relativeExpCutoff+1: absolute — interpreted as a unix time
+//     anchored at WallBase, resolved against the shard clock at execution.
+//
+// Exact TTL equality is the regression teeth: the old expTTL read the wall
+// clock (time.Until) for absolute exptimes, which can never reproduce the
+// shard-clock arithmetic exactly.
+func TestExptimeCutoffBoundaryOnShardClock(t *testing.T) {
+	base := time.Unix(1_000_000_000, 0) // arbitrary pinned anchor
+	b := newClockedBackend()
+	s := startServer(t, Config{Backend: b, WallBase: base})
+	cl, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close() //nolint:errcheck
+
+	// Park the shard clock far from zero so a relative TTL that accidentally
+	// consulted it would be visibly wrong.
+	b.now.Store(int64(100_000 * time.Second))
+
+	// At the cutoff: still relative.
+	b.set(t, cl, "rel", relativeExpCutoff)
+	if ttl, _ := b.ttlState(); ttl != relativeExpCutoff*time.Second {
+		t.Fatalf("exptime=cutoff TTL = %v, want exactly %v", ttl, relativeExpCutoff*time.Second)
+	}
+
+	// One past the cutoff: absolute. As a unix time it is ~Feb 1970, long
+	// before WallBase, so the value must be treated as already expired —
+	// observably a delete, never a store.
+	_, before := b.ttlState()
+	b.set(t, cl, "past", relativeExpCutoff+1)
+	if _, n := b.ttlState(); n != before {
+		t.Fatal("exptime=cutoff+1 (past unix time) reached SetWithTTL")
+	}
+	if r, _ := cl.Get("past"); r.Hit {
+		t.Fatal("exptime=cutoff+1 (past unix time) left the key visible")
+	}
+
+	// A future absolute exptime resolves on the shard clock: deadline is
+	// exptime − WallBase, remaining TTL is deadline − ShardNow, exactly.
+	exptime := base.Unix() + 2_600_000
+	b.set(t, cl, "abs", exptime)
+	wantTTL := 2_600_000*time.Second - 100_000*time.Second
+	if ttl, _ := b.ttlState(); ttl != wantTTL {
+		t.Fatalf("absolute exptime TTL = %v, want exactly %v (shard-clock resolution)", ttl, wantTTL)
+	}
+
+	// Advance the shard clock past the deadline: the same exptime is now
+	// expired on the shard clock (wall time has barely moved).
+	b.now.Store(int64(2_600_000 * time.Second))
+	_, before = b.ttlState()
+	b.set(t, cl, "abs2", exptime)
+	if _, n := b.ttlState(); n != before {
+		t.Fatal("shard-clock-expired absolute exptime reached SetWithTTL")
+	}
+	if r, _ := cl.Get("abs2"); r.Hit {
+		t.Fatal("shard-clock-expired absolute exptime left the key visible")
+	}
+}
+
+// TestAbsoluteExptimeReplayDeterministic replays one request sequence with
+// absolute exptimes twice, each run against a fresh server with the same
+// pinned WallBase and the same shard-clock schedule. Every resolved TTL must
+// be byte-identical across runs and equal to the predicted shard-clock
+// arithmetic — the determinism property the wall-clock expTTL broke (two
+// runs parse at different wall instants, so time.Until yields different
+// durations every time).
+func TestAbsoluteExptimeReplayDeterministic(t *testing.T) {
+	base := time.Unix(1_700_000_000, 0)
+	schedule := []time.Duration{0, 7 * time.Second, 90 * time.Second, 3 * time.Hour}
+	exptimes := []int64{
+		base.Unix() + 3600,       // 1h after base
+		base.Unix() + 86_400,     // 1d after base
+		base.Unix() + 12_000_000, // ~139d after base
+	}
+
+	run := func() []time.Duration {
+		b := newClockedBackend()
+		s := startServer(t, Config{Backend: b, WallBase: base})
+		cl, err := Dial(s.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close() //nolint:errcheck
+		var ttls []time.Duration
+		for i, now := range schedule {
+			b.now.Store(int64(now))
+			for j, exp := range exptimes {
+				if exp-base.Unix() <= int64(now/time.Second) {
+					continue // would expire; only live stores record a TTL
+				}
+				b.set(t, cl, fmt.Sprintf("k%d_%d", i, j), exp)
+				ttl, _ := b.ttlState()
+				ttls = append(ttls, ttl)
+			}
+		}
+		return ttls
+	}
+
+	first := run()
+	second := run()
+	if len(first) != len(second) {
+		t.Fatalf("replay lengths differ: %d vs %d", len(first), len(second))
+	}
+	idx := 0
+	for _, now := range schedule {
+		for _, exp := range exptimes {
+			if exp-base.Unix() <= int64(now/time.Second) {
+				continue
+			}
+			want := time.Duration(exp-base.Unix())*time.Second - now
+			if first[idx] != want {
+				t.Fatalf("run 1 ttl[%d] = %v, want %v", idx, first[idx], want)
+			}
+			if first[idx] != second[idx] {
+				t.Fatalf("replay diverged at %d: %v vs %v", idx, first[idx], second[idx])
+			}
+			idx++
+		}
+	}
+}

@@ -6,7 +6,11 @@ import (
 	"testing"
 	"time"
 
-	"znscache"
+	"znscache/internal/cache"
+	"znscache/internal/device"
+	"znscache/internal/flash"
+	"znscache/internal/ssd"
+	"znscache/internal/store"
 )
 
 // FuzzProtocol throws arbitrary bytes at a live server. The invariants: the
@@ -121,13 +125,7 @@ func FuzzProto(f *testing.F) {
 		f.Add([]byte(s))
 	}
 
-	c, err := znscache.OpenSharded(znscache.ShardedConfig{
-		Config: znscache.Config{Zones: 16, TrackValues: true},
-		Shards: 4,
-	})
-	if err != nil {
-		f.Fatal(err)
-	}
+	c := newFuzzSharded(f, 4)
 	srv, err := New(Config{
 		Backend:     c,
 		ReadTimeout: 200 * time.Millisecond,
@@ -144,8 +142,67 @@ func FuzzProto(f *testing.F) {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer cancel()
 		srv.Shutdown(ctx) //nolint:errcheck
-		c.Close()         //nolint:errcheck
 	})
 
 	f.Fuzz(func(t *testing.T, data []byte) { fuzzOneInput(t, srv, data) })
+}
+
+// fuzzSharded adapts cache.Sharded to this package's Backend +
+// ShardedBackend, so FuzzProto exercises the phase splitter and per-shard
+// batch workers against real cache engines without importing the root
+// package (which would close an import cycle through harness).
+type fuzzSharded struct{ sh *cache.Sharded }
+
+func (b *fuzzSharded) Get(key string) ([]byte, bool, error) { return b.sh.Get(key) }
+func (b *fuzzSharded) Set(key string, value []byte) error   { return b.sh.Set(key, value, len(value)) }
+func (b *fuzzSharded) SetWithTTL(key string, value []byte, ttl time.Duration) error {
+	return b.sh.SetTTL(key, value, len(value), ttl)
+}
+func (b *fuzzSharded) Delete(key string) bool  { return b.sh.Delete(key) }
+func (b *fuzzSharded) Len() int                { return b.sh.Len() }
+func (b *fuzzSharded) NumShards() int          { return b.sh.NumShards() }
+func (b *fuzzSharded) ShardFor(key string) int { return b.sh.ShardFor(key) }
+func (b *fuzzSharded) ExecShard(i int, fn func(*cache.Cache)) error {
+	b.sh.WithShard(i, fn)
+	return nil
+}
+
+// newFuzzSharded builds shards small block-cache engines, each over its own
+// tiny emulated SSD so values survive region flushes and Get returns real
+// payload bytes.
+func newFuzzSharded(f *testing.F, shards int) *fuzzSharded {
+	f.Helper()
+	const regionBytes = 64 << 10
+	engines := make([]*cache.Cache, shards)
+	for i := range engines {
+		dev, err := ssd.New(ssd.Config{
+			Geometry: flash.Geometry{
+				Channels: 2, DiesPerChan: 1, BlocksPerDie: 16,
+				PagesPerBlock: 16, PageSize: device.SectorSize,
+			},
+			Timing:    flash.DefaultTiming(),
+			StoreData: true,
+		})
+		if err != nil {
+			f.Fatalf("shard %d ssd: %v", i, err)
+		}
+		regions := int(dev.Size() / regionBytes)
+		if regions > 8 {
+			regions = 8
+		}
+		st, err := store.NewBlockStore(dev, regionBytes, regions)
+		if err != nil {
+			f.Fatalf("shard %d store: %v", i, err)
+		}
+		eng, err := cache.New(cache.Config{Store: st, TrackValues: true})
+		if err != nil {
+			f.Fatalf("shard %d engine: %v", i, err)
+		}
+		engines[i] = eng
+	}
+	sh, err := cache.NewSharded(engines)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return &fuzzSharded{sh: sh}
 }

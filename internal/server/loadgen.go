@@ -47,6 +47,10 @@ type LoadConfig struct {
 	// FillOnMiss inserts the object after a get miss (read-through fill,
 	// how CacheBench drives a cache). Fills ride in the next batch.
 	FillOnMiss bool
+	// Exptime is sent with every set: ≤ 30 days is a relative TTL in
+	// seconds, larger values are absolute unix times (memcached semantics).
+	// Zero stores without expiry.
+	Exptime int64
 	// Multiget groups up to N consecutive gets from the workload stream into
 	// one multi-key "get k1 k2 ..." request. ≤ 1 disables grouping and every
 	// get goes out as its own command. Grouping reduces parse overhead and
@@ -411,7 +415,7 @@ func runConn(cl *Client, cfg *LoadConfig, gen *workload.BC, hist *stats.Histogra
 				if n > len(payload) {
 					n = len(payload)
 				}
-				cl.QueueSet(b.key, 0, 0, payload[:n])
+				cl.QueueSet(b.key, 0, cfg.Exptime, payload[:n])
 			case workload.OpDelete:
 				cl.QueueDelete(b.key)
 			}

@@ -12,9 +12,12 @@
 // flags ride inside the stored value as a 4-byte big-endian prefix, so the
 // cache backend needs no schema beyond key→bytes. Expiration times follow
 // memcached's rule — values up to 30 days are relative seconds, larger
-// values are absolute unix times — with one simulation-honest twist:
-// relative TTLs are measured on the owning shard's simulated clock, the same
-// clock the cache's own TTL machinery uses.
+// values are absolute unix times — with one simulation-honest twist: both
+// forms are measured on the owning shard's simulated clock, the same clock
+// the cache's own TTL machinery uses. Absolute exptimes are anchored by
+// Config.WallBase (the wall instant declared to be shard time zero) and
+// resolved against ShardClocked.ShardNow at execution time, so a pinned
+// WallBase makes same-seed replays with absolute exptimes deterministic.
 //
 // Concurrency model: one goroutine per connection over buffered readers and
 // writers. Responses are batched — the writer flushes only when the read
@@ -54,6 +57,27 @@ type Backend interface {
 	Delete(key string) bool
 	// Len returns the number of cached items (served as curr_items).
 	Len() int
+}
+
+// ShardClocked is an optional Backend extension for backends whose TTLs run
+// on per-shard simulated clocks (znscache.ShardedCache). ShardNow reports the
+// owning shard's current simulated time, so absolute memcached exptimes
+// resolve on the very clock the relative ones already use: simulated instant
+// Config.WallBase + ShardNow(key). Without it, absolute exptimes fall back to
+// the wall clock (time.Since(WallBase) cancels WallBase out exactly), the
+// right reading for a backend whose TTLs are wall-clock anyway.
+type ShardClocked interface {
+	// ShardNow returns the current simulated time of the shard owning key.
+	ShardNow(key string) time.Duration
+}
+
+// MultiGetter is an optional Backend extension: fetch a whole multi-key get
+// in one call. The cluster proxy implements it to scatter-gather one batch
+// per backend node instead of paying one round trip per key. The three result
+// slices are parallel to keys and fully owned by the caller; every slot must
+// be written (hit, miss, or error).
+type MultiGetter interface {
+	GetMulti(keys []string, vals [][]byte, hits []bool, errs []error)
 }
 
 // Config parameterizes a Server. Zero values select the defaults noted on
@@ -100,6 +124,15 @@ type Config struct {
 	// SLO, when non-nil, tracks per-verb latency objectives: every request
 	// counts against its verb's objective at batch latency.
 	SLO *obs.SLOTracker
+	// WallBase anchors absolute memcached exptimes (unix times past the
+	// 30-day cutoff) to the backend's clock: an absolute exptime T becomes
+	// the deadline T − WallBase on the owning shard's clock (ShardClocked
+	// backends) or on the wall clock measured from WallBase (plain
+	// backends — algebraically identical to time.Until(T)). Zero means
+	// "now" at New. Pinning it makes same-seed replays with absolute
+	// exptimes deterministic: the simulated instant each exptime maps to no
+	// longer depends on when the process started.
+	WallBase time.Time
 }
 
 func (c *Config) fillDefaults() {
@@ -196,9 +229,16 @@ type Server struct {
 	draining atomic.Bool
 	stop     chan struct{} // closed by Shutdown to unblock the accept loop
 	start    time.Time
+	wallBase time.Time // Config.WallBase resolved (zero → start)
 
 	// sharded is non-nil when Backend also implements ShardedBackend; it
 	// enables the phase-split shard-affinity dispatch path (dispatch.go).
+	// clocked is non-nil when Backend implements ShardClocked; absolute
+	// exptimes then resolve on the shard clock instead of the wall clock.
+	// multi is non-nil when Backend implements MultiGetter; multi-key gets
+	// on the inline path then execute as one batched backend call.
+	clocked    ShardClocked
+	multi      MultiGetter
 	sharded    ShardedBackend
 	shardQ     []chan shardTask
 	workerWG   sync.WaitGroup
@@ -235,10 +275,20 @@ func New(cfg Config) (*Server, error) {
 		start: time.Now(),
 	}
 	s.m.init()
+	s.wallBase = cfg.WallBase
+	if s.wallBase.IsZero() {
+		s.wallBase = s.start
+	}
 	s.spans = cfg.Spans
 	s.sloGet = cfg.SLO.Verb("get")
 	s.sloSet = cfg.SLO.Verb("set")
 	s.sloDel = cfg.SLO.Verb("delete")
+	if cb, ok := cfg.Backend.(ShardClocked); ok {
+		s.clocked = cb
+	}
+	if mg, ok := cfg.Backend.(MultiGetter); ok {
+		s.multi = mg
+	}
 	if sb, ok := cfg.Backend.(ShardedBackend); ok && sb.NumShards() > 0 {
 		s.sharded = sb
 		s.startWorkers(sb.NumShards())
