@@ -10,6 +10,7 @@
 //	cachebench -experiment table1  # WA factors under OP ratios (Table 1)
 //	cachebench -experiment contracts # zone-resource limit sweep (open/active caps)
 //	cachebench -experiment cluster # cluster tier: nodes × replication × skew
+//	cachebench -experiment cdn     # chunked large-object sweep: chunk size × scheme
 //	cachebench -experiment all     # everything
 //
 // Scale flags shrink or grow the run; defaults regenerate the numbers in
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -32,8 +34,9 @@ import (
 
 func main() {
 	var (
-		experiment  = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|admission|contracts|cluster|all")
+		experiment  = flag.String("experiment", "all", "fig2|fig3|fig4|table1|smallzone|admission|contracts|cluster|cdn|all")
 		limits      = flag.String("limits", "", "comma-separated open-zone caps for -experiment contracts (default 14,8,4,2,1)")
+		chunkKiB    = flag.String("chunk-kib", "", "comma-separated bigobj chunk sizes in KiB for -experiment cdn (default 128,512)")
 		admission   = flag.String("admission", "", "admission policy for every rig: all|prob:P|reject-first[:BITS,WINDOW]|dynamic-random[:WINDOW_MS]|frequency[:THRESHOLD]")
 		admitBudget = flag.Float64("admit-budget", 0, "device-write budget in bytes per simulated second (required by -admission dynamic-random; overrides the admission sweep's derived budgets)")
 		zones       = flag.Int("zones", 0, "override device zone count")
@@ -41,7 +44,8 @@ func main() {
 		warmup      = flag.Int("warmup", 0, "override warmup op count")
 		keys        = flag.Int64("keys", 0, "override key-space size")
 		seed        = flag.Uint64("seed", 0, "override workload seed")
-		traceFile   = flag.String("trace", "", "replay a trace file (op key [len] per line) instead of an experiment")
+		traceFile   = flag.String("trace", "", "replay a trace file instead of an experiment")
+		traceFormat = flag.String("trace-format", "auto", "trace file format: auto|ops ('op key [len]' lines)|csv ('ts,key,size,op' records)")
 		scheme      = flag.String("scheme", "region", "scheme for -trace: block|file|zone|region")
 		metricsAddr = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address while running")
 		jsonDir     = flag.String("json", "", "also write BENCH_<experiment>.json report files into this directory")
@@ -99,7 +103,7 @@ func main() {
 	}
 
 	if *traceFile != "" {
-		if err := replayTrace(*traceFile, *scheme, *zones); err != nil {
+		if err := replayTrace(*traceFile, *traceFormat, *scheme, *zones); err != nil {
 			fmt.Fprintf(os.Stderr, "cachebench trace: %v\n", err)
 			os.Exit(1)
 		}
@@ -215,6 +219,39 @@ func main() {
 		harness.PrintContracts(os.Stdout, rows)
 		return report(harness.NewContractsReport(rows))
 	})
+	run("cdn", func() error {
+		var p harness.CDNParams
+		if *zones != 0 {
+			p.Zones = *zones
+		}
+		if *ops != 0 {
+			p.MeasureOps = *ops
+		}
+		if *warmup != 0 {
+			p.WarmupOps = *warmup
+		}
+		if *keys != 0 {
+			p.Objects = *keys
+		}
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		if *chunkKiB != "" {
+			kib, err := parseLimits(*chunkKiB)
+			if err != nil {
+				return fmt.Errorf("-chunk-kib: %w", err)
+			}
+			for _, k := range kib {
+				p.ChunkSizes = append(p.ChunkSizes, k<<10)
+			}
+		}
+		rows, err := harness.RunCDN(p)
+		if err != nil {
+			return err
+		}
+		harness.PrintCDN(os.Stdout, rows)
+		return report(harness.NewCDNReport(rows))
+	})
 	run("cluster", func() error {
 		points := harness.DefaultClusterSweep()
 		for i := range points {
@@ -286,7 +323,7 @@ func main() {
 	}
 
 	switch *experiment {
-	case "all", "fig2", "fig3", "fig4", "table1", "smallzone", "admission", "contracts", "cluster":
+	case "all", "fig2", "fig3", "fig4", "table1", "smallzone", "admission", "contracts", "cluster", "cdn":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
@@ -323,8 +360,47 @@ func writeEvents(path string, tr *obs.Tracer) error {
 	return nil
 }
 
+// opStream is the surface both trace parsers share.
+type opStream interface {
+	Next() (workload.Op, bool)
+	Err() error
+}
+
+// openTrace opens a trace file in the requested format; "auto" sniffs the
+// head of the file for commas (the CSV shape) vs whitespace op lines.
+func openTrace(path, format string) (*os.File, opStream, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	br := bufio.NewReaderSize(f, 64<<10)
+	if format == "auto" {
+		head, _ := br.Peek(4 << 10)
+		format = "ops"
+		for _, line := range strings.Split(string(head), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if strings.Contains(line, ",") {
+				format = "csv"
+			}
+			break
+		}
+	}
+	switch format {
+	case "ops":
+		return f, workload.NewTrace(br), nil
+	case "csv":
+		return f, workload.NewCSVTrace(br), nil
+	default:
+		f.Close() //nolint:errcheck
+		return nil, nil, fmt.Errorf("unknown trace format %q (want auto, ops, or csv)", format)
+	}
+}
+
 // replayTrace runs a trace file against one scheme and reports the outcome.
-func replayTrace(path, schemeName string, zones int) error {
+func replayTrace(path, format, schemeName string, zones int) error {
 	schemes := map[string]harness.Scheme{
 		"block": harness.BlockCache, "file": harness.FileCache,
 		"zone": harness.ZoneCache, "region": harness.RegionCache,
@@ -345,12 +421,11 @@ func replayTrace(path, schemeName string, zones int) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(path)
+	f, tr, err := openTrace(path, format)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	tr := workload.NewTrace(f)
 	ops := 0
 	for {
 		op, ok := tr.Next()

@@ -38,6 +38,7 @@ type options struct {
 	shards        int
 	zones         int
 	cacheMiB      int64
+	regionKiB     int64
 	admission     string
 	admitBudget   float64
 	maxConns      int
@@ -62,6 +63,7 @@ func main() {
 	flag.IntVar(&o.shards, "shards", 4, "independent cache engines (key-hash partitioned)")
 	flag.IntVar(&o.zones, "zones", 64, "simulated device zone count (split across shards)")
 	flag.Int64Var(&o.cacheMiB, "cache-mib", 0, "cache capacity in MiB (default 80% of the device)")
+	flag.Int64Var(&o.regionKiB, "region-kib", 0, "region size in KiB for block/file/region schemes (default scheme-specific); raise it so large values fit a region")
 	flag.StringVar(&o.admission, "admission", "", "admission policy: all|prob:P|reject-first[:BITS,WINDOW]|dynamic-random[:WINDOW_MS]|frequency[:THRESHOLD]")
 	flag.Float64Var(&o.admitBudget, "admit-budget", 0, "device-write budget in bytes/simulated-second (for dynamic-random)")
 	flag.IntVar(&o.maxConns, "max-conns", 1024, "connection limit; excess connections wait in the accept queue")
@@ -162,6 +164,7 @@ func run(o options) error {
 			Scheme:      s,
 			Zones:       o.zones,
 			CacheBytes:  o.cacheMiB << 20,
+			RegionBytes: o.regionKiB << 10,
 			TrackValues: true,        // the server returns real payloads
 			FastReads:   o.fastReads, // lock-free get path for the serving layer
 			Spans:       spans,

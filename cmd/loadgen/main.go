@@ -17,12 +17,14 @@ import (
 	"fmt"
 	"os"
 	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"znscache/internal/harness"
 	"znscache/internal/server"
+	"znscache/internal/workload"
 )
 
 func main() {
@@ -44,6 +46,7 @@ func main() {
 		multiget = flag.Int("multiget", 0, "group up to N consecutive gets into one multi-key get (<=1 disables)")
 		sizes    = flag.String("value-sizes", "", "comma-separated object sizes in bytes (default 512,1024,4096,8192,16384)")
 		weights  = flag.String("value-weights", "", "comma-separated weights matching -value-sizes")
+		valdist  = flag.String("valdist", "", "continuous value-size distribution, e.g. pareto:1.2:4096:1048576 (alpha:min:max bytes); overrides -value-sizes")
 		jsonDir  = flag.String("json", "", "write a BENCH_serve.json report into this directory")
 		progress = flag.Duration("progress", 0, "print a one-line readout (ops/s, p50/p99) every interval and record the per-interval timeline in the -json report (0 disables)")
 		gogc     = flag.Int("gogc", 400, "GC target percentage (SetGCPercent); 0 leaves the runtime default")
@@ -67,6 +70,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "loadgen: -value-weights: %v\n", err)
 		os.Exit(1)
 	}
+	valueDist, err := workload.ParseSizeDist(*valdist)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: -valdist: %v\n", err)
+		os.Exit(1)
+	}
 
 	res, err := server.Run(server.LoadConfig{
 		Addr:         *addr,
@@ -82,6 +90,7 @@ func main() {
 		DelPct:       *delPct,
 		ValueSizes:   valueSizes,
 		ValueWeights: valueWeights,
+		ValueDist:    valueDist,
 		Seed:         *seed,
 		FillOnMiss:   *fill,
 		Exptime:      *exptime,
@@ -114,6 +123,18 @@ func main() {
 		}
 		fmt.Println()
 	}
+	if len(res.ValueSizeBuckets) > 0 {
+		buckets := make([]int, 0, len(res.ValueSizeBuckets))
+		for b := range res.ValueSizeBuckets {
+			buckets = append(buckets, b)
+		}
+		sort.Ints(buckets)
+		fmt.Printf("set value sizes (pow2 buckets):")
+		for _, b := range buckets {
+			fmt.Printf(" ≤%s×%d", sizeLabel(b), res.ValueSizeBuckets[b])
+		}
+		fmt.Println()
+	}
 
 	if *jsonDir != "" {
 		rep := harness.NewServeReport([]harness.ServeRowJSON{toRow(res)})
@@ -126,6 +147,18 @@ func main() {
 	}
 	if res.Errors > 0 {
 		os.Exit(2)
+	}
+}
+
+// sizeLabel renders a power-of-two byte count compactly (4096 -> "4K").
+func sizeLabel(n int) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return strconv.Itoa(n>>20) + "M"
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return strconv.Itoa(n>>10) + "K"
+	default:
+		return strconv.Itoa(n)
 	}
 }
 
@@ -148,30 +181,31 @@ func parseInts(s string) ([]int, error) {
 // toRow converts a load result to the report wire form.
 func toRow(r *server.LoadResult) harness.ServeRowJSON {
 	return harness.ServeRowJSON{
-		Mode:          r.Mode,
-		Conns:         r.Conns,
-		Pipeline:      r.Pipeline,
-		TargetQPS:     r.TargetQPS,
-		AchievedQPS:   r.AchievedQPS,
-		Ops:           r.Ops,
-		Gets:          r.Gets,
-		Sets:          r.Sets,
-		Deletes:       r.Deletes,
-		Hits:          r.Hits,
-		Misses:        r.Misses,
-		Fills:         r.Fills,
-		Errors:        r.Errors,
-		HitRatio:      r.HitRatio(),
-		ElapsedNs:     r.Elapsed.Nanoseconds(),
-		P50Ns:         r.Latency.P50.Nanoseconds(),
-		P90Ns:         r.Latency.P90.Nanoseconds(),
-		P99Ns:         r.Latency.P99.Nanoseconds(),
-		P999Ns:        r.Latency.P999.Nanoseconds(),
-		MeanNs:        r.Latency.Mean.Nanoseconds(),
-		MaxNs:         r.Latency.Max.Nanoseconds(),
-		Multiget:      r.Multiget,
-		GetBatchSizes: r.GetBatchSizes,
-		Timeline:      toTimeline(r.Timeline),
+		Mode:             r.Mode,
+		Conns:            r.Conns,
+		Pipeline:         r.Pipeline,
+		TargetQPS:        r.TargetQPS,
+		AchievedQPS:      r.AchievedQPS,
+		Ops:              r.Ops,
+		Gets:             r.Gets,
+		Sets:             r.Sets,
+		Deletes:          r.Deletes,
+		Hits:             r.Hits,
+		Misses:           r.Misses,
+		Fills:            r.Fills,
+		Errors:           r.Errors,
+		HitRatio:         r.HitRatio(),
+		ElapsedNs:        r.Elapsed.Nanoseconds(),
+		P50Ns:            r.Latency.P50.Nanoseconds(),
+		P90Ns:            r.Latency.P90.Nanoseconds(),
+		P99Ns:            r.Latency.P99.Nanoseconds(),
+		P999Ns:           r.Latency.P999.Nanoseconds(),
+		MeanNs:           r.Latency.Mean.Nanoseconds(),
+		MaxNs:            r.Latency.Max.Nanoseconds(),
+		Multiget:         r.Multiget,
+		GetBatchSizes:    r.GetBatchSizes,
+		ValueSizeBuckets: r.ValueSizeBuckets,
+		Timeline:         toTimeline(r.Timeline),
 	}
 }
 

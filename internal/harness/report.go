@@ -183,6 +183,31 @@ type Report struct {
 	Serve      []ServeRowJSON     `json:"serve,omitempty"`
 	Contracts  []ContractsRowJSON `json:"contracts,omitempty"`
 	Cluster    []ClusterRowJSON   `json:"cluster,omitempty"`
+	CDN        []CDNRowJSON       `json:"cdn,omitempty"`
+}
+
+// CDNRowJSON is one CDN sweep cell (CDNRow) in wire form. Reads partition
+// exactly into object_hits + fills; bytes are payload (chunk headers and
+// manifests excluded); wa_factor is cumulative device write amplification.
+type CDNRowJSON struct {
+	Scheme            string  `json:"scheme"`
+	ChunkBytes        int     `json:"chunk_bytes"`
+	Ops               int     `json:"ops"`
+	SimElapsedNs      int64   `json:"sim_elapsed_ns"`
+	OpsPerSec         float64 `json:"ops_per_sec"`
+	Reads             int     `json:"reads"`
+	ObjectHits        int     `json:"object_hits"`
+	Fills             int     `json:"fills"`
+	Deletes           int     `json:"deletes"`
+	ObjectHitRatio    float64 `json:"object_hit_ratio"`
+	ServedBytes       uint64  `json:"served_bytes"`
+	FillBytes         uint64  `json:"fill_bytes"`
+	ChunkHits         uint64  `json:"chunk_hits"`
+	ChunkMisses       uint64  `json:"chunk_misses"`
+	PartialMisses     uint64  `json:"partial_object_misses"`
+	ManifestRepairs   uint64  `json:"manifest_repairs"`
+	EvictionsDeferred uint64  `json:"pinned_evictions_deferred"`
+	WAFactor          float64 `json:"wa_factor"`
 }
 
 // ClusterRowJSON is one cluster benchmark point (ClusterResult) in wire
@@ -252,6 +277,11 @@ type ServeRowJSON struct {
 	// report shows the batch-size distribution the server actually saw.
 	Multiget      int            `json:"multiget,omitempty"`
 	GetBatchSizes map[int]uint64 `json:"get_batch_sizes,omitempty"`
+	// ValueSizeBuckets histograms acknowledged set payload sizes into
+	// power-of-two buckets (key = bucket upper bound in bytes); the size
+	// mix the server actually stored, which matters under a heavy-tailed
+	// -valdist.
+	ValueSizeBuckets map[int]uint64 `json:"value_size_buckets,omitempty"`
 	// Timeline is the per-interval latency series captured when the loadgen
 	// ran with progress sampling on (absent otherwise). Intervals are
 	// disjoint; percentiles are interval-local.
@@ -493,6 +523,48 @@ func NewClusterReport(rows []ClusterResult) *Report {
 	return rep
 }
 
+// NewCDNReport wraps CDN sweep rows as a Report.
+func NewCDNReport(rows []CDNRow) *Report {
+	rep := &Report{Schema: ReportSchema, Experiment: "cdn"}
+	for _, r := range rows {
+		rep.CDN = append(rep.CDN, CDNRowJSON{
+			Scheme:            r.Scheme.String(),
+			ChunkBytes:        r.ChunkBytes,
+			Ops:               r.Ops,
+			SimElapsedNs:      int64(r.SimTime),
+			OpsPerSec:         r.OpsPerSec,
+			Reads:             r.Reads,
+			ObjectHits:        r.ObjectHits,
+			Fills:             r.Fills,
+			Deletes:           r.Deletes,
+			ObjectHitRatio:    r.ObjectHitRatio(),
+			ServedBytes:       r.ServedBytes,
+			FillBytes:         r.FillBytes,
+			ChunkHits:         r.ChunkHits,
+			ChunkMisses:       r.ChunkMisses,
+			PartialMisses:     r.PartialMisses,
+			ManifestRepairs:   r.ManifestRepairs,
+			EvictionsDeferred: r.EvictionsDeferred,
+			WAFactor:          r.WAFactor,
+		})
+	}
+	return rep
+}
+
+// PrintCDN renders the CDN sweep.
+func PrintCDN(w io.Writer, rows []CDNRow) {
+	fmt.Fprintln(w, "CDN large-object sweep — chunk size × scheme (bigobj over each engine)")
+	fmt.Fprintf(w, "%-13s %9s %10s %9s %7s %7s %8s %9s %9s %8s %7s\n",
+		"scheme", "chunkKiB", "ops/sec", "hit-ratio", "fills", "partial", "repairs", "servedMB", "filledMB", "pinned", "WA")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %9d %10.0f %8.2f%% %7d %7d %8d %9.1f %9.1f %8d %7.2f\n",
+			r.Scheme, r.ChunkBytes>>10, r.OpsPerSec, r.ObjectHitRatio()*100,
+			r.Fills, r.PartialMisses, r.ManifestRepairs,
+			float64(r.ServedBytes)/(1<<20), float64(r.FillBytes)/(1<<20),
+			r.EvictionsDeferred, r.WAFactor)
+	}
+}
+
 // PrintCluster renders the cluster sweep.
 func PrintCluster(w io.Writer, rows []ClusterResult) {
 	fmt.Fprintln(w, "Cluster tier — node count × replication × skew (loopback cacheproxy routing)")
@@ -524,6 +596,7 @@ func (r *Report) Validate() error {
 		"serve":       r.Serve != nil,
 		"contracts":   r.Contracts != nil,
 		"cluster":     r.Cluster != nil,
+		"cdn":         r.CDN != nil,
 	}
 	populated, known := sections[r.Experiment]
 	if !known {

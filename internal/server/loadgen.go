@@ -42,6 +42,10 @@ type LoadConfig struct {
 	// (defaults follow workload.BCConfig).
 	ValueSizes   []int
 	ValueWeights []int
+	// ValueDist, when set, replaces ValueSizes/ValueWeights with a
+	// continuous size distribution (e.g. a bounded Pareto for CDN-style
+	// heavy-tailed values). The payload template is sized to its MaxLen.
+	ValueDist workload.SizeDist
 	// Seed decorrelates per-connection generators (splitmix64-derived).
 	Seed uint64
 	// FillOnMiss inserts the object after a get miss (read-through fill,
@@ -108,6 +112,13 @@ type LoadResult struct {
 	// (n == 1 means a plain single-key get). Empty when no gets were sent.
 	GetBatchSizes map[int]uint64
 
+	// ValueSizeBuckets histograms the value sizes of acknowledged sets
+	// (fills included) into power-of-two buckets: ValueSizeBuckets[b]
+	// counts sets whose payload length n satisfied b/2 < n <= b. Under a
+	// heavy-tailed -valdist this is how the report shows the size mix the
+	// server actually stored. Empty when no sets completed.
+	ValueSizeBuckets map[int]uint64
+
 	// Timeline holds one entry per LoadConfig.Progress interval (nil when
 	// progress sampling was off). Intervals are disjoint: each entry's
 	// latency percentiles cover only the requests completed in that window,
@@ -159,6 +170,7 @@ func Run(cfg LoadConfig) (*LoadResult, error) {
 	// understates the server's throughput.
 	hist := stats.NewHistogram()
 	sizes := make(map[int]uint64)
+	valBuckets := make(map[int]uint64)
 	var mergeMu sync.Mutex
 	var ctr loadCounters
 	var budget atomic.Int64
@@ -216,15 +228,20 @@ func Run(cfg LoadConfig) (*LoadResult, error) {
 				Theta:        cfg.Theta,
 				ValueSizes:   cfg.ValueSizes,
 				ValueWeights: cfg.ValueWeights,
+				ValueDist:    cfg.ValueDist,
 				Seed:         cache.ShardSeed(cfg.Seed, i),
 			})
 			connHist := stats.NewHistogram()
 			connSizes := make(map[int]uint64)
-			runConn(cl, &cfg, gen, connHist, connSizes, prog, &ctr, &budget, deadline, start, interval, i)
+			connVals := make(map[int]uint64)
+			runConn(cl, &cfg, gen, connHist, connSizes, connVals, prog, &ctr, &budget, deadline, start, interval, i)
 			mergeMu.Lock()
 			hist.Merge(connHist)
 			for n, c := range connSizes {
 				sizes[n] += c
+			}
+			for n, c := range connVals {
+				valBuckets[n] += c
 			}
 			mergeMu.Unlock()
 		}(i)
@@ -258,6 +275,9 @@ func Run(cfg LoadConfig) (*LoadResult, error) {
 	}
 	if len(sizes) > 0 {
 		res.GetBatchSizes = sizes
+	}
+	if len(valBuckets) > 0 {
+		res.ValueSizeBuckets = valBuckets
 	}
 	res.Timeline = timeline
 	if elapsed > 0 {
@@ -325,10 +345,21 @@ type batchOp struct {
 	isFill bool
 }
 
-// runConn is one connection's request loop. hist and sizes are this
-// connection's private accumulators; the caller merges them afterwards.
+// pow2Bucket returns the power-of-two histogram bucket for a payload length:
+// the smallest power of two >= n (minimum 1).
+func pow2Bucket(n int) int {
+	b := 1
+	for b < n {
+		b <<= 1
+	}
+	return b
+}
+
+// runConn is one connection's request loop. hist, sizes, and valBuckets are
+// this connection's private accumulators; the caller merges them afterwards.
 func runConn(cl *Client, cfg *LoadConfig, gen *workload.BC, hist *stats.Histogram,
-	sizes map[int]uint64, prog *stats.Histogram, ctr *loadCounters, budget *atomic.Int64,
+	sizes map[int]uint64, valBuckets map[int]uint64, prog *stats.Histogram,
+	ctr *loadCounters, budget *atomic.Int64,
 	deadline, start time.Time, interval time.Duration, connIdx int) {
 
 	// The loadgen only classifies hit/miss; fetched value bytes go straight
@@ -342,6 +373,11 @@ func runConn(cl *Client, cfg *LoadConfig, gen *workload.BC, hist *stats.Histogra
 	for _, sz := range cfg.ValueSizes {
 		if sz > maxVal {
 			maxVal = sz
+		}
+	}
+	if cfg.ValueDist != nil {
+		if m := cfg.ValueDist.MaxLen(); m > maxVal {
+			maxVal = m
 		}
 	}
 	payload := make([]byte, maxVal)
@@ -462,6 +498,11 @@ func runConn(cl *Client, cfg *LoadConfig, gen *workload.BC, hist *stats.Histogra
 				}
 			case workload.OpSet:
 				ctr.sets.Add(1)
+				n := b.valLen
+				if n > len(payload) {
+					n = len(payload) // what QueueSet actually sent
+				}
+				valBuckets[pow2Bucket(n)]++
 				if b.isFill {
 					ctr.fills.Add(1)
 				}

@@ -3,6 +3,8 @@ package server
 import (
 	"testing"
 	"time"
+
+	"znscache/internal/workload"
 )
 
 func TestLoadgenClosedLoop(t *testing.T) {
@@ -91,5 +93,52 @@ func TestLoadgenOpenLoop(t *testing.T) {
 func TestLoadgenDialError(t *testing.T) {
 	if _, err := Run(LoadConfig{Addr: "127.0.0.1:1", Ops: 10, Conns: 1}); err == nil {
 		t.Fatal("Run against a dead address succeeded")
+	}
+}
+
+func TestLoadgenValueDist(t *testing.T) {
+	b := newMapBackend()
+	s := startServer(t, Config{Backend: b})
+
+	dist, err := workload.ParseSizeDist("pareto:1.2:1024:262144")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(LoadConfig{
+		Addr:       s.Addr(),
+		Conns:      2,
+		Pipeline:   8,
+		Ops:        1500,
+		Keys:       256,
+		Seed:       11,
+		FillOnMiss: true,
+		ValueDist:  dist,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("Errors = %d", res.Errors)
+	}
+	if res.Sets == 0 {
+		t.Fatal("no sets completed")
+	}
+	if len(res.ValueSizeBuckets) == 0 {
+		t.Fatal("ValueSizeBuckets empty")
+	}
+	var total uint64
+	for bkt, c := range res.ValueSizeBuckets {
+		if bkt < 1024 || bkt > 262144 {
+			t.Errorf("bucket %d outside the distribution's [1024, 262144] bounds", bkt)
+		}
+		total += c
+	}
+	if total != res.Sets {
+		t.Errorf("bucket counts sum to %d, want Sets = %d", total, res.Sets)
+	}
+	// A Pareto over a 256x span must land in more than one pow2 bucket.
+	if len(res.ValueSizeBuckets) < 3 {
+		t.Errorf("only %d distinct buckets; heavy tail not expressed: %v",
+			len(res.ValueSizeBuckets), res.ValueSizeBuckets)
 	}
 }

@@ -1,0 +1,234 @@
+// CDN-flavoured large-object workload. Four properties distinguish CDN
+// traffic from the memcached-style bc mix and all four are modeled here:
+//
+//   - Heavy-tailed object sizes: a bounded Pareto over [MinSize, MaxSize].
+//     The size is a deterministic property of the object's identity (hashed
+//     from the stable object id), not a fresh sample per op — refetching an
+//     object always refetches the same bytes.
+//   - Zipf popularity with diurnal shift: every DiurnalPeriod requests the
+//     popularity ranking rotates by a fixed stride through the catalog, so
+//     the hot set drifts the way follower time zones drag a CDN's working
+//     set around the clock. Cache contents earned under the old hot set
+//     go cold and must be re-earned.
+//   - Range requests: most CDN bytes move as byte-range reads (video
+//     segments, partial downloads, resumed transfers). RangePct of reads
+//     request a bounded segment at a random offset; the rest read the
+//     whole object.
+//   - TTL churn: each object carries a deterministic TTL drawn from
+//     [TTLMin, TTLMax], so expiry constantly re-opens admission decisions
+//     even for popular objects.
+//
+// The generator is a pure function of its seed: same seed, same op stream.
+package workload
+
+import (
+	"time"
+
+	"znscache/internal/sim"
+)
+
+// CDNOp is one generated large-object operation.
+type CDNOp struct {
+	// Key is the stable object key.
+	Key string
+	// Size is the full object size in bytes (a property of the key).
+	Size int64
+	// Off/Len describe the requested byte range of a read; Len == Size and
+	// Off == 0 for a full-object read. Meaningless for deletes.
+	Off, Len int64
+	// TTL is the object's freshness lifetime, applied when a miss fills.
+	TTL time.Duration
+	// Delete marks an invalidation (origin purge) instead of a read.
+	Delete bool
+}
+
+// CDNConfig parameterizes the generator.
+type CDNConfig struct {
+	// Objects is the catalog size (default 2000).
+	Objects int64
+	// Theta is the zipf popularity skew (default 0.99).
+	Theta float64
+	// Alpha is the Pareto shape for object sizes (default 1.2; smaller is
+	// heavier-tailed).
+	Alpha float64
+	// MinSize/MaxSize bound object sizes in bytes (default 32 KiB / 2 MiB).
+	MinSize, MaxSize int64
+	// RangePct is the percentage of reads that are byte-range requests
+	// instead of full-object reads (default 70).
+	RangePct int
+	// SegMin/SegMax bound range-request lengths in bytes (default
+	// 16 KiB / 256 KiB), truncated to the object.
+	SegMin, SegMax int64
+	// DelPct is the percentage of ops that are invalidations (default 2).
+	DelPct int
+	// TTLMin/TTLMax bound per-object TTLs (default 2m / 20m of simulated
+	// time). TTLMin < 0 disables expiry.
+	TTLMin, TTLMax time.Duration
+	// DiurnalPeriod rotates the popularity ranking every this many ops
+	// (default 0: no rotation). Each rotation shifts the hot set by
+	// Objects/24 — one "hour" of catalog drift.
+	DiurnalPeriod int64
+	Seed          uint64
+}
+
+func (c *CDNConfig) fillDefaults() {
+	if c.Objects == 0 {
+		c.Objects = 2000
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.99
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.2
+	}
+	if c.MinSize == 0 {
+		c.MinSize = 32 << 10
+	}
+	if c.MaxSize == 0 {
+		c.MaxSize = 2 << 20
+	}
+	if c.MaxSize < c.MinSize {
+		c.MaxSize = c.MinSize
+	}
+	if c.RangePct == 0 {
+		c.RangePct = 70
+	}
+	if c.SegMin == 0 {
+		c.SegMin = 16 << 10
+	}
+	if c.SegMax == 0 {
+		c.SegMax = 256 << 10
+	}
+	if c.DelPct == 0 {
+		c.DelPct = 2
+	}
+	if c.TTLMin == 0 {
+		c.TTLMin = 2 * time.Minute
+	}
+	if c.TTLMax == 0 {
+		c.TTLMax = 20 * time.Minute
+	}
+}
+
+// CDN is the large-object op generator.
+type CDN struct {
+	cfg   CDNConfig
+	rng   *sim.Rand
+	zipf  *Zipf
+	sizes ParetoSizes
+	phase int64
+	ops   int64
+	names []string
+}
+
+// NewCDN builds a generator. Same config (including seed) replays the same
+// op stream.
+func NewCDN(cfg CDNConfig) *CDN {
+	cfg.fillDefaults()
+	g := &CDN{
+		cfg:   cfg,
+		rng:   sim.NewRand(cfg.Seed*0x9e3779b97f4a7c15 + 0xcdcdcd),
+		zipf:  NewZipf(cfg.Objects, cfg.Theta, cfg.Seed+7),
+		sizes: ParetoSizes{Alpha: cfg.Alpha, Min: int(cfg.MinSize), Max: int(cfg.MaxSize)},
+	}
+	if cfg.Objects <= internKeysUpTo {
+		g.names = make([]string, cfg.Objects)
+	}
+	return g
+}
+
+// mix64 is a splitmix-style finalizer used to derive stable per-object
+// properties (size, TTL) from the object id.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SizeOf returns the stable size of object id: the bounded-Pareto inverse
+// CDF evaluated at a hash-derived uniform, so the catalog's size profile is
+// heavy-tailed but each object's size never changes.
+func (g *CDN) SizeOf(id int64) int64 {
+	h := mix64(uint64(id) ^ g.cfg.Seed ^ 0x5c1e5c1e5c1e5c1)
+	r := sim.NewRand(h)
+	return int64(g.sizes.SampleLen(r))
+}
+
+// TTLOf returns the stable TTL of object id in [TTLMin, TTLMax], or 0 (no
+// expiry) when TTLMin < 0.
+func (g *CDN) TTLOf(id int64) time.Duration {
+	if g.cfg.TTLMin < 0 {
+		return 0
+	}
+	span := int64(g.cfg.TTLMax - g.cfg.TTLMin)
+	if span <= 0 {
+		return g.cfg.TTLMin
+	}
+	h := mix64(uint64(id)*0x2545f4914f6cdd1d + g.cfg.Seed)
+	return g.cfg.TTLMin + time.Duration(int64(h%uint64(span)))
+}
+
+// KeyOf renders the stable key of object id.
+func (g *CDN) KeyOf(id int64) string {
+	if g.names != nil {
+		s := g.names[id]
+		if s == "" {
+			s = cdnKeyName(id)
+			g.names[id] = s
+		}
+		return s
+	}
+	return cdnKeyName(id)
+}
+
+// cdnKeyName renders "cdn-############" without fmt (hot path, like
+// KeyName).
+func cdnKeyName(i int64) string {
+	b := [16]byte{'c', 'd', 'n', '-', '0', '0', '0', '0', '0', '0', '0', '0', '0', '0', '0', '0'}
+	for p := 15; p > 3 && i > 0; p-- {
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[:])
+}
+
+// Next returns the next operation.
+func (g *CDN) Next() CDNOp {
+	g.ops++
+	if g.cfg.DiurnalPeriod > 0 && g.ops%g.cfg.DiurnalPeriod == 0 {
+		stride := g.cfg.Objects / 24
+		if stride < 1 {
+			stride = 1
+		}
+		g.phase = (g.phase + stride) % g.cfg.Objects
+	}
+
+	if g.rng.Intn(100) < g.cfg.DelPct {
+		// Invalidations purge uniformly: origin purges are not focused on
+		// the hottest objects.
+		id := g.rng.Int63n(g.cfg.Objects)
+		return CDNOp{Key: g.KeyOf(id), Size: g.SizeOf(id), Delete: true}
+	}
+
+	// The zipf rank is the popularity slot; the diurnal phase maps slots
+	// onto drifting catalog ids.
+	id := (g.zipf.Next() + g.phase) % g.cfg.Objects
+	size := g.SizeOf(id)
+	op := CDNOp{Key: g.KeyOf(id), Size: size, TTL: g.TTLOf(id), Off: 0, Len: size}
+	if g.rng.Intn(100) < g.cfg.RangePct && size > g.cfg.SegMin {
+		// Sample the segment inside [SegMin, min(SegMax, size)]: on the
+		// (majority) small objects of the heavy tail this still produces
+		// a proper sub-range instead of degenerating to a full read.
+		segMax := g.cfg.SegMax
+		if segMax > size {
+			segMax = size
+		}
+		length := g.cfg.SegMin + g.rng.Int63n(segMax-g.cfg.SegMin+1)
+		op.Off = g.rng.Int63n(size - length + 1)
+		op.Len = length
+	}
+	return op
+}

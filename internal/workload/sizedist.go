@@ -1,0 +1,96 @@
+// Continuous value-size distributions. The discrete ValueSizes/ValueWeights
+// tables model memcached-style small objects well, but CDN traffic is
+// heavy-tailed: most objects are small, a few are enormous, and the few
+// carry most of the bytes. A bounded Pareto captures that shape with one
+// knob (alpha); production trace studies consistently fit web/CDN object
+// sizes with alpha between roughly 0.9 and 1.5.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"znscache/internal/sim"
+)
+
+// SizeDist samples value sizes. Implementations must be deterministic
+// functions of the supplied PRNG so same-seed runs replay identically.
+type SizeDist interface {
+	// SampleLen draws one value size in bytes (always >= 1).
+	SampleLen(r *sim.Rand) int
+	// MaxLen bounds the sizes SampleLen can return, so payload buffers
+	// can be allocated once.
+	MaxLen() int
+	// String renders the spec form accepted by ParseSizeDist.
+	String() string
+}
+
+// ParetoSizes is a bounded Pareto (power-law) size distribution over
+// [Min, Max] with shape Alpha. Smaller alpha = heavier tail.
+type ParetoSizes struct {
+	Alpha    float64
+	Min, Max int
+}
+
+// SampleLen draws by inversion from the bounded Pareto CDF: both bounds
+// are folded into the inversion (rather than sampling the unbounded law
+// and clamping) so the tail mass lands inside [Min, Max] instead of piling
+// up at Max.
+func (p ParetoSizes) SampleLen(r *sim.Rand) int {
+	u := r.Float64()
+	lo := float64(p.Min)
+	hi := float64(p.Max)
+	// Bounded Pareto inverse CDF: x = (lo^-a - u*(lo^-a - hi^-a))^(-1/a)
+	la := math.Pow(lo, -p.Alpha)
+	ha := math.Pow(hi, -p.Alpha)
+	x := math.Pow(la-u*(la-ha), -1/p.Alpha)
+	n := int(x)
+	if n < p.Min {
+		n = p.Min
+	}
+	if n > p.Max {
+		n = p.Max
+	}
+	return n
+}
+
+// MaxLen implements SizeDist.
+func (p ParetoSizes) MaxLen() int { return p.Max }
+
+// String implements SizeDist in the flag-spec form.
+func (p ParetoSizes) String() string {
+	return fmt.Sprintf("pareto:%g:%d:%d", p.Alpha, p.Min, p.Max)
+}
+
+// ParseSizeDist parses a size-distribution spec of the form
+// "pareto:<alpha>:<min>:<max>" (bytes). An empty spec returns (nil, nil):
+// the caller falls back to its discrete table.
+func ParseSizeDist(spec string) (SizeDist, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ":")
+	switch parts[0] {
+	case "pareto":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("workload: size dist %q: want pareto:<alpha>:<min>:<max>", spec)
+		}
+		alpha, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || alpha <= 0 {
+			return nil, fmt.Errorf("workload: size dist %q: bad alpha", spec)
+		}
+		min, err := strconv.Atoi(parts[2])
+		if err != nil || min < 1 {
+			return nil, fmt.Errorf("workload: size dist %q: bad min", spec)
+		}
+		max, err := strconv.Atoi(parts[3])
+		if err != nil || max < min {
+			return nil, fmt.Errorf("workload: size dist %q: bad max", spec)
+		}
+		return ParetoSizes{Alpha: alpha, Min: min, Max: max}, nil
+	default:
+		return nil, fmt.Errorf("workload: unknown size distribution %q (supported: pareto)", parts[0])
+	}
+}

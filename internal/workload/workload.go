@@ -167,7 +167,11 @@ type BCConfig struct {
 	// (defaults approximate navy/bc: small KB-scale objects).
 	ValueSizes   []int
 	ValueWeights []int
-	Seed         uint64
+	// ValueDist, when set, replaces the discrete ValueSizes/ValueWeights
+	// table with a continuous distribution (e.g. ParetoSizes for
+	// CDN-shaped heavy-tailed objects).
+	ValueDist SizeDist
+	Seed      uint64
 }
 
 func (c *BCConfig) fillDefaults() {
@@ -240,6 +244,9 @@ func (b *BC) keyName(i int64) string {
 
 // valueLen samples the object-size distribution.
 func (b *BC) valueLen() int {
+	if b.cfg.ValueDist != nil {
+		return b.cfg.ValueDist.SampleLen(b.rng)
+	}
 	r := b.rng.Intn(b.weightSum)
 	for i, w := range b.cfg.ValueWeights {
 		if r < w {
